@@ -1,0 +1,303 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus microbenchmarks of the simulation substrates.
+// The figure benchmarks run reduced-duration sweeps per iteration and
+// print the regenerated rows once; cmd/dtmsweep produces the full-length
+// versions.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// benchDuration keeps per-iteration simulation cost bounded.
+const benchDuration = 60
+
+var printOnce sync.Map
+
+// printFigure renders a table once per benchmark name so `go test
+// -bench=.` output carries the regenerated rows without repeating them
+// every iteration.
+func printFigure(name string, render func(w io.Writer) error) {
+	if _, loaded := printOnce.LoadOrStore(name, true); loaded {
+		return
+	}
+	fmt.Fprintf(os.Stdout, "\n=== %s ===\n", name)
+	if err := render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stdout, "render error: %v\n", err)
+	}
+}
+
+// BenchmarkTableI_Workloads regenerates Table I: synthesizing the eight
+// benchmark traces and validating their offered load.
+func BenchmarkTableI_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bench := range workload.TableI() {
+			jobs, err := workload.Generate(workload.GenConfig{
+				Bench: bench, NumCores: 8, DurationS: 1800, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = workload.OfferedLoad(jobs, 8, 1800)
+		}
+	}
+	printFigure("Table I", func(w io.Writer) error {
+		t, err := exp.TableIReport(1)
+		if err != nil {
+			return err
+		}
+		return t.Render(w)
+	})
+}
+
+// BenchmarkTableII_ThermalModel regenerates Table II by building the
+// thermal networks of all four configurations from the published
+// parameters.
+func BenchmarkTableII_ThermalModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range floorplan.AllExperiments() {
+			s := floorplan.MustBuild(e)
+			if _, err := thermal.NewBlockModel(s, thermal.DefaultParams()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	printFigure("Table II", func(w io.Writer) error { return exp.TableIIReport().Render(w) })
+}
+
+// BenchmarkFig1_Floorplans regenerates Figure 1: building and validating
+// the four stacks.
+func BenchmarkFig1_Floorplans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range floorplan.AllExperiments() {
+			s, err := floorplan.Build(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	printFigure("Fig. 1 (EXP-3)", func(w io.Writer) error {
+		_, err := io.WriteString(w, floorplan.RenderStack(floorplan.MustBuild(floorplan.EXP3), 46, 8))
+		return err
+	})
+}
+
+// BenchmarkFig2_TSVResistivity regenerates Figure 2: the joint interface
+// resistivity sweep over TSV density.
+func BenchmarkFig2_TSVResistivity(b *testing.B) {
+	m := thermal.NewTSVModel()
+	counts := thermal.DefaultFig2ViaCounts()
+	for i := 0; i < b.N; i++ {
+		_ = m.Fig2Curve(counts)
+	}
+	printFigure("Fig. 2", func(w io.Writer) error { return exp.Fig2Report().Render(w) })
+}
+
+// figureSweep runs a reduced policy x experiment matrix for one figure.
+func figureSweep(b *testing.B, useDPM bool, exps []floorplan.Experiment) *exp.Matrix {
+	b.Helper()
+	m, err := exp.Run(exp.MatrixConfig{
+		Exps:       exps,
+		Benchmarks: []string{"Web-med", "Web&DB"},
+		UseDPM:     useDPM,
+		DurationS:  benchDuration,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func renderMatrixHotspots(m *exp.Matrix, title string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		for pi, p := range m.Config.Policies {
+			fmt.Fprintf(w, "%-18s", p)
+			for ei := range m.Config.Exps {
+				fmt.Fprintf(w, "  %v=%6.2f%%", m.Config.Exps[ei], pick(title, m.Cells[pi][ei]))
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+}
+
+func pick(metric string, c exp.Cell) float64 {
+	switch metric {
+	case "grad":
+		return c.GradientPct
+	case "cyc":
+		return c.CyclePct
+	default:
+		return c.HotSpotPct
+	}
+}
+
+// BenchmarkFig3_HotSpotsNoDPM regenerates Figure 3: hot-spot residency
+// without DPM plus the normalized performance series.
+func BenchmarkFig3_HotSpotsNoDPM(b *testing.B) {
+	var m *exp.Matrix
+	for i := 0; i < b.N; i++ {
+		m = figureSweep(b, false, []floorplan.Experiment{floorplan.EXP1, floorplan.EXP3})
+	}
+	printFigure("Fig. 3 (hot spots %, no DPM; reduced sweep)", renderMatrixHotspots(m, "hot"))
+	printFigure("Fig. 3 (performance)", func(w io.Writer) error {
+		for pi, p := range m.Config.Policies {
+			c := m.Cells[pi][len(m.Config.Exps)-1]
+			fmt.Fprintf(w, "%-18s perf=%.3f delay=%+.2f%%\n", p, c.NormPerf, c.DelayPct)
+		}
+		return nil
+	})
+}
+
+// BenchmarkFig4_HotSpotsDPM regenerates Figure 4: hot spots with DPM.
+func BenchmarkFig4_HotSpotsDPM(b *testing.B) {
+	var m *exp.Matrix
+	for i := 0; i < b.N; i++ {
+		m = figureSweep(b, true, []floorplan.Experiment{floorplan.EXP1, floorplan.EXP3})
+	}
+	printFigure("Fig. 4 (hot spots %, with DPM; reduced sweep)", renderMatrixHotspots(m, "hot"))
+}
+
+// BenchmarkFig5_SpatialGradients regenerates Figure 5: spatial gradients
+// with DPM.
+func BenchmarkFig5_SpatialGradients(b *testing.B) {
+	var m *exp.Matrix
+	for i := 0; i < b.N; i++ {
+		m = figureSweep(b, true, []floorplan.Experiment{floorplan.EXP2, floorplan.EXP4})
+	}
+	printFigure("Fig. 5 (gradients %, with DPM; reduced sweep)", renderMatrixHotspots(m, "grad"))
+}
+
+// BenchmarkFig6_ThermalCycles regenerates Figure 6: thermal cycles with
+// DPM on EXP-1 and EXP-3.
+func BenchmarkFig6_ThermalCycles(b *testing.B) {
+	var m *exp.Matrix
+	for i := 0; i < b.N; i++ {
+		m = figureSweep(b, true, []floorplan.Experiment{floorplan.EXP1, floorplan.EXP3})
+	}
+	printFigure("Fig. 6 (cycles %, with DPM; reduced sweep)", renderMatrixHotspots(m, "cyc"))
+}
+
+// BenchmarkThermalSteadyState measures one steady-state solve of the
+// EXP-4 block network.
+func BenchmarkThermalSteadyState(b *testing.B) {
+	s := floorplan.MustBuild(floorplan.EXP4)
+	m, err := thermal.NewBlockModel(s, thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, s.NumBlocks())
+	for _, c := range s.Cores() {
+		p[s.BlockIndex(c)] = 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyState(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalTransientStep measures one implicit-Euler step of the
+// EXP-4 block network (the per-tick cost of the simulator).
+func BenchmarkThermalTransientStep(b *testing.B) {
+	s := floorplan.MustBuild(floorplan.EXP4)
+	m, _ := thermal.NewBlockModel(s, thermal.DefaultParams())
+	tr, err := m.NewTransient(0.1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, s.NumBlocks())
+	for _, c := range s.Cores() {
+		p[s.BlockIndex(c)] = 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedSecond measures full simulator throughput: one
+// simulated second (10 ticks) of EXP-3 under Adapt3D per iteration.
+func BenchmarkSimulatedSecond(b *testing.B) {
+	stack := floorplan.MustBuild(floorplan.EXP3)
+	bench, err := workload.ByName("Web-med")
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := workload.Generate(workload.GenConfig{Bench: bench, NumCores: 16, DurationS: float64(b.N), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, err := exp.BuildPolicy("Adapt3D", stack, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := sim.Run(sim.Config{
+		Exp:       floorplan.EXP3,
+		Policy:    pol,
+		Jobs:      jobs,
+		DurationS: float64(b.N),
+		Seed:      1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace synthesis throughput.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	bench, _ := workload.ByName("Web-high")
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(workload.GenConfig{Bench: bench, NumCores: 16, DurationS: 300, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdapt3DTick measures the policy's per-interval cost (the
+// paper argues it is negligible).
+func BenchmarkAdapt3DTick(b *testing.B) {
+	stack := floorplan.MustBuild(floorplan.EXP4)
+	pol, err := exp.BuildPolicy("Adapt3D", stack, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := stack.NumCores()
+	v := &policy.View{
+		TickS:      0.1,
+		TempsC:     make([]float64, n),
+		Utils:      make([]float64, n),
+		QueueLens:  make([]int, n),
+		States:     make([]power.CoreState, n),
+		Levels:     make([]power.VfLevel, n),
+		Stack:      stack,
+		ThresholdC: 85,
+		TprefC:     80,
+	}
+	for i := range v.TempsC {
+		v.TempsC[i] = 70 + float64(i%10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Tick(v)
+	}
+}

@@ -1,0 +1,114 @@
+// Command dtmsim runs one (experiment, policy, workload) simulation and
+// prints the paper's metrics for that run.
+//
+// Usage:
+//
+//	dtmsim -exp 3 -policy Adapt3D -bench Web-med -duration 300 -dpm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/floorplan"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtmsim: ")
+
+	expFlag := flag.String("exp", "1", "experiment configuration (1..4)")
+	policyFlag := flag.String("policy", "Default", "policy name: "+strings.Join(exp.PolicyOrder, ", "))
+	benchFlag := flag.String("bench", "Web-med", "Table I benchmark name")
+	durFlag := flag.Float64("duration", 300, "simulated seconds")
+	seedFlag := flag.Int64("seed", 1, "random seed")
+	dpmFlag := flag.Bool("dpm", false, "enable dynamic power management (fixed timeout)")
+	gridFlag := flag.Int("grid", 0, "thermal grid resolution per side (0 = block mode)")
+	traceFlag := flag.String("trace", "", "write a per-tick CSV temperature/power trace to this file")
+	relFlag := flag.Bool("reliability", false, "run the rainflow/electromigration reliability assessor")
+	heatFlag := flag.Bool("heatmap", false, "draw per-layer ASCII heat maps of the final thermal field")
+	flag.Parse()
+
+	e, err := floorplan.ParseExperiment(*expFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stack, err := floorplan.Build(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := exp.BuildPolicy(*policyFlag, stack, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := workload.ByName(*benchFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.Config{
+		Exp:               e,
+		Policy:            pol,
+		Bench:             bench,
+		UseDPM:            *dpmFlag,
+		DurationS:         *durFlag,
+		Seed:              *seedFlag,
+		GridRows:          *gridFlag,
+		GridCols:          *gridFlag,
+		AssessReliability: *relFlag,
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "%s on %v, %s, %.0f s simulated, DPM=%v\n", res.PolicyName, res.Exp, bench.Name, *durFlag, res.UseDPM)
+	fmt.Fprintf(w, "  hot spots        : %6.2f %% of core-time above 85 °C\n", res.Metrics.HotSpotPct)
+	fmt.Fprintf(w, "  spatial gradients: %6.2f %% of time above 15 °C (worst layer)\n", res.Metrics.GradientPct)
+	fmt.Fprintf(w, "  thermal cycles   : %6.2f %% of windows with ΔT > 20 °C\n", res.Metrics.CyclePct)
+	fmt.Fprintf(w, "  temperatures     : avg core %.1f °C, peak %.1f °C, worst vertical gradient %.2f °C\n",
+		res.Metrics.AvgCoreTempC, res.Metrics.MaxTempC, res.Metrics.MaxVerticalC)
+	fmt.Fprintf(w, "  power / energy   : %.1f W average, %.1f kJ total\n", res.AvgPowerW, res.EnergyJ/1000)
+	fmt.Fprintf(w, "  scheduling       : %d/%d jobs completed, mean response %.3f s, %d migrations\n",
+		res.JobsCompleted, res.JobsGenerated, res.Sched.MeanResponseS, res.Sched.TotalMigration)
+	if res.UseDPM {
+		fmt.Fprintf(w, "  DPM              : %d sleep transitions\n", res.SleepEntries)
+	}
+	if res.GatedTicks > 0 {
+		fmt.Fprintf(w, "  clock gating     : %d core-ticks stalled\n", res.GatedTicks)
+	}
+	if *relFlag {
+		worst := res.WorstCoreStress
+		fmt.Fprintf(w, "  reliability      : worst core %d — EM acceleration %.2fx, cycling damage %.3f (%d full cycles)\n",
+			worst.Core, worst.EMAcceleration, worst.CyclingDamage, worst.FullCycles)
+	}
+	if *traceFlag != "" {
+		fmt.Fprintf(w, "  trace            : written to %s\n", *traceFlag)
+	}
+	if *heatFlag {
+		hm, err := thermal.RenderHeatmap(stack, res.FinalBlockTempsC, thermal.HeatmapOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, hm)
+		if hot, err := thermal.HotBlocks(stack, res.FinalBlockTempsC, 85); err == nil && len(hot) > 0 {
+			fmt.Fprintf(w, "blocks above 85 °C at end of run: %s\n", strings.Join(hot, ", "))
+		}
+	}
+}

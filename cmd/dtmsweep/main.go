@@ -1,0 +1,93 @@
+// Command dtmsweep regenerates the paper's evaluation: Tables I-II,
+// Figure 2 (TSV resistivity), and Figures 3-6 (hot spots without/with
+// DPM, spatial gradients, thermal cycles) across every policy and 3D
+// configuration.
+//
+// Usage:
+//
+//	dtmsweep                 # everything
+//	dtmsweep -figure 3       # one figure
+//	dtmsweep -duration 600   # longer runs
+//	dtmsweep -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtmsweep: ")
+
+	figFlag := flag.Int("figure", 0, "figure to regenerate (2..6; 0 = all, including Tables I-II)")
+	durFlag := flag.Float64("duration", 300, "simulated seconds per run")
+	seedFlag := flag.Int64("seed", 1, "random seed")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	benchFlag := flag.String("benchmarks", "", "comma-separated Table I benchmark names (default: representative mix)")
+	flag.Parse()
+
+	f := exp.FigureConfig{DurationS: *durFlag, Seed: *seedFlag}
+	if *benchFlag != "" {
+		f.Benchmarks = strings.Split(*benchFlag, ",")
+	}
+	w := os.Stdout
+
+	render := func(t *report.Table) {
+		var err error
+		if *csvFlag {
+			err = t.RenderCSV(w)
+		} else {
+			err = t.Render(w)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+
+	switch *figFlag {
+	case 0:
+		if *csvFlag {
+			log.Fatal("-csv requires selecting a single figure")
+		}
+		if _, _, err := exp.WriteAllFigures(w, f); err != nil {
+			log.Fatal(err)
+		}
+	case 2:
+		render(exp.Fig2Report())
+	case 3:
+		hs, perf, _, err := exp.Fig3Report(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(hs)
+		render(perf)
+	case 4:
+		t, _, err := exp.Fig4Report(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	case 5:
+		t, _, err := exp.Fig5Report(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	case 6:
+		t, _, err := exp.Fig6Report(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	default:
+		log.Fatalf("unknown figure %d (want 2..6 or 0 for all)", *figFlag)
+	}
+}

@@ -1,0 +1,141 @@
+// Package repro is a full reproduction of "Dynamic Thermal Management in
+// 3D Multicore Architectures" (Coskun, Ayala, Atienza, Rosing, Leblebici —
+// DATE 2009): a 3D-stacked multicore thermal simulation stack (floorplans,
+// HotSpot-style RC thermal model with TSV-aware interlayer interfaces,
+// UltraSPARC-T1-based power model with temperature-dependent leakage,
+// multi-queue scheduler, synthetic Table-I workloads) together with every
+// dynamic thermal management policy the paper evaluates — clock gating,
+// three DVFS variants, thermal migration, Adaptive-Random — and the
+// paper's contribution, the Adapt3D thermally-aware job allocator, plus
+// hybrid combinations and DPM.
+//
+// This root package is a thin facade over the internal packages: it
+// exposes the types needed to build systems, run simulations, compose
+// policies, and regenerate the paper's tables and figures. See the
+// runnable programs under examples/ and cmd/ for usage.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/reliability"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Re-exported types: the stable public surface of the library.
+type (
+	// Experiment selects one of the paper's 3D configurations.
+	Experiment = floorplan.Experiment
+	// Stack is a 3D chip floorplan.
+	Stack = floorplan.Stack
+	// ThermalModel is the compact RC network of a stack plus package.
+	ThermalModel = thermal.Model
+	// ThermalParams are the physical constants of the thermal model.
+	ThermalParams = thermal.Params
+	// PowerModel is the chip power model.
+	PowerModel = power.Model
+	// Policy is a dynamic thermal management policy.
+	Policy = policy.Policy
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of one run.
+	SimResult = sim.Result
+	// Benchmark is a Table I workload.
+	Benchmark = workload.Benchmark
+	// Job is one schedulable thread.
+	Job = workload.Job
+	// MetricsSummary is the paper's metric set for one run.
+	MetricsSummary = metrics.Summary
+	// Adapt3D is the paper's thermally-aware job allocator.
+	Adapt3D = core.Adapt3D
+	// Adapt3DConfig holds the Adapt3D constants.
+	Adapt3DConfig = core.Config
+	// FigureConfig controls figure regeneration sweeps.
+	FigureConfig = exp.FigureConfig
+	// ReliabilityReport is the per-core wear summary produced when
+	// SimConfig.AssessReliability is set.
+	ReliabilityReport = reliability.CoreReport
+)
+
+// The four experimental configurations (Figure 1).
+const (
+	EXP1 = floorplan.EXP1
+	EXP2 = floorplan.EXP2
+	EXP3 = floorplan.EXP3
+	EXP4 = floorplan.EXP4
+)
+
+// BuildStack constructs the floorplan stack for an experiment with the
+// paper's joint interlayer resistivity.
+func BuildStack(e Experiment) (*Stack, error) { return floorplan.Build(e) }
+
+// NewThermalModel builds the block-mode thermal model with the default
+// (paper-calibrated) parameters.
+func NewThermalModel(s *Stack) (*ThermalModel, error) {
+	return thermal.NewBlockModel(s, thermal.DefaultParams())
+}
+
+// DefaultThermalParams returns the Table-II-plus-package parameter set.
+func DefaultThermalParams() ThermalParams { return thermal.DefaultParams() }
+
+// DefaultPowerModel returns the Section IV-B power model.
+func DefaultPowerModel() PowerModel { return power.DefaultModel() }
+
+// Benchmarks returns the Table I workload definitions.
+func Benchmarks() []Benchmark { return workload.TableI() }
+
+// BenchmarkByName looks up a Table I workload.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// GenerateJobs synthesizes a job trace for a benchmark (see
+// workload.Generate for the model).
+func GenerateJobs(b Benchmark, numCores int, durationS float64, seed int64) ([]Job, error) {
+	return workload.Generate(workload.GenConfig{Bench: b, NumCores: numCores, DurationS: durationS, Seed: seed})
+}
+
+// NewAdapt3D builds the paper's policy for a stack with offline thermal
+// indices derived from a steady-state solve.
+func NewAdapt3D(s *Stack, seed int64) (*Adapt3D, error) {
+	m, err := NewThermalModel(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	return core.NewWithModel(s, m, cfg)
+}
+
+// NewDefaultPolicy returns the baseline OS load balancer.
+func NewDefaultPolicy() Policy { return policy.NewDefault() }
+
+// PolicySet builds the paper's full 11-policy roster for a stack.
+func PolicySet(s *Stack, seed int64) ([]Policy, error) { return exp.BuildPolicySet(s, seed) }
+
+// PolicyByName builds one policy from the roster by its Figure 3 name.
+func PolicyByName(name string, s *Stack, seed int64) (Policy, error) {
+	return exp.BuildPolicy(name, s, seed)
+}
+
+// PolicyNames lists the roster in the paper's Figure 3 order.
+func PolicyNames() []string { return append([]string{}, exp.PolicyOrder...) }
+
+// Run executes one simulation.
+func Run(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// WriteAllFigures regenerates Tables I-II and Figures 2-6, writing the
+// report tables to w.
+func WriteAllFigures(w io.Writer, f FigureConfig) error {
+	_, _, err := exp.WriteAllFigures(w, f)
+	return err
+}
+
+// RenderStack draws an ASCII view of a stack's floorplan (Figure 1).
+func RenderStack(s *Stack) string { return floorplan.RenderStack(s, 46, 12) }

@@ -1,0 +1,233 @@
+// Package core implements Adapt3D, the paper's contribution (Section
+// III-B): a dynamic, thermally-aware job allocation policy for 3D
+// multicore stacks. Adapt3D extends probabilistic thermal-history
+// scheduling (Adaptive-Random, [7]) with a per-core thermal index α that
+// encodes how prone each core's 3D location is to hot spots — cores far
+// from the heat sink and laterally central heat up faster and cool more
+// slowly. Probability updates follow Eq. 1-3:
+//
+//	P_t = P_{t-1} + W
+//	Wdiff = Tpref - Tavg
+//	W = βinc · Wdiff · (1/αi)   if Tpref >= Tavg
+//	W = βdec · Wdiff · αi        if Tpref <  Tavg
+//
+// so cool cores in well-cooled locations gain allocation probability
+// fastest, and hot-spot-prone cores lose it fastest. Cores above the
+// critical threshold get probability zero. The policy is fully runtime
+// (no offline application profiling or per-application IPC estimation)
+// and has negligible overhead: probabilities change only at scheduling
+// intervals and sampling needs one random number.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Config holds the Adapt3D constants. DefaultConfig reproduces the
+// paper's experimental settings.
+type Config struct {
+	// BetaInc is the probability increase rate (paper: 0.01).
+	BetaInc float64
+	// BetaDec is the probability decrease rate (paper: 0.1). The rates
+	// differ because of the α and 1/α factors in the weight equations.
+	BetaDec float64
+	// Window is the temperature history length in samples (paper: 10,
+	// i.e. 1 s at a 100 ms sampling rate).
+	Window int
+	// Alpha holds the per-core thermal indices in (0,1); higher means
+	// more prone to hot spots. Leave nil to derive them from the stack
+	// geometry (the offline option the paper adopts).
+	Alpha []float64
+	// Seed drives the allocation sampling (an LFSR in hardware).
+	Seed int64
+	// OnlineWindow, when positive, enables the paper's runtime option
+	// for the thermal indices: every OnlineWindow scheduling intervals
+	// the α values are re-derived from the rank ordering of the
+	// long-window average core temperatures. The paper notes the window
+	// must be long (minutes) because short intervals are misleading; it
+	// found offline and runtime indices to behave equivalently.
+	OnlineWindow int
+}
+
+// DefaultConfig returns the paper's constants.
+func DefaultConfig() Config {
+	return Config{BetaInc: 0.01, BetaDec: 0.1, Window: 10}
+}
+
+// Adapt3D implements policy.Policy.
+type Adapt3D struct {
+	cfg   Config
+	alpha []float64
+	eng   *policy.ProbEngine
+
+	// Online index estimation state (cfg.OnlineWindow > 0).
+	onlineSum []float64
+	onlineN   int
+}
+
+// New builds Adapt3D for the given stack. When cfg.Alpha is nil the
+// thermal indices are computed offline from the stack's geometry
+// (distance from the heat sink and lateral centrality); use NewWithModel
+// to derive them from a steady-state thermal solve instead.
+func New(stack *floorplan.Stack, cfg Config) (*Adapt3D, error) {
+	if stack == nil {
+		return nil, fmt.Errorf("core: Adapt3D needs a stack")
+	}
+	if cfg.BetaInc <= 0 || cfg.BetaDec <= 0 {
+		return nil, fmt.Errorf("core: beta rates must be positive, got inc=%g dec=%g", cfg.BetaInc, cfg.BetaDec)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("core: history window must be positive, got %d", cfg.Window)
+	}
+	alpha := cfg.Alpha
+	if alpha == nil {
+		alpha = GeometricIndices(stack)
+	}
+	if len(alpha) != stack.NumCores() {
+		return nil, fmt.Errorf("core: got %d thermal indices for %d cores", len(alpha), stack.NumCores())
+	}
+	for i, a := range alpha {
+		if a <= 0 || a >= 1 {
+			return nil, fmt.Errorf("core: thermal index α[%d]=%g out of (0,1)", i, a)
+		}
+	}
+	p := &Adapt3D{cfg: cfg, alpha: alpha}
+	eng, err := policy.NewProbEngine(stack.NumCores(), cfg.Window, cfg.Seed, p.weight)
+	if err != nil {
+		return nil, err
+	}
+	p.eng = eng
+	return p, nil
+}
+
+// NewWithModel builds Adapt3D with thermal indices derived offline from a
+// steady-state solve of the given thermal model under a uniform
+// reference power map — the paper's preferred offline option (it found
+// offline and runtime-derived indices to behave equivalently).
+func NewWithModel(stack *floorplan.Stack, model *thermal.Model, cfg Config) (*Adapt3D, error) {
+	if cfg.Alpha == nil && model != nil {
+		alpha, err := SteadyStateIndices(stack, model)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Alpha = alpha
+	}
+	return New(stack, cfg)
+}
+
+// weight is Eq. 3.
+func (p *Adapt3D) weight(coreID int, wdiff float64) float64 {
+	a := p.alpha[coreID]
+	if wdiff >= 0 {
+		return p.cfg.BetaInc * wdiff / a
+	}
+	return p.cfg.BetaDec * wdiff * a
+}
+
+// Name implements policy.Policy.
+func (p *Adapt3D) Name() string { return "Adapt3D" }
+
+// AssignCore implements policy.Policy: draw from the adaptive
+// distribution among the least-loaded cores (the paper's "we do not
+// overload cores that are already highly utilized and getting warm").
+func (p *Adapt3D) AssignCore(v *policy.View, _ workload.Job) int {
+	return p.eng.SampleLeastLoaded(v.QueueLens, v.TempsC, v.TprefC)
+}
+
+// Tick implements policy.Policy: record the new samples and update the
+// probabilities (Eq. 1), refreshing the thermal indices from the long
+// temperature history when the runtime option is enabled.
+func (p *Adapt3D) Tick(v *policy.View) policy.TickDecision {
+	if err := p.eng.Observe(v.TempsC); err != nil {
+		return policy.TickDecision{}
+	}
+	_ = p.eng.Update(v.TprefC, v.ThresholdC, v.TempsC)
+	if p.cfg.OnlineWindow > 0 && len(v.TempsC) == len(p.alpha) {
+		if p.onlineSum == nil {
+			p.onlineSum = make([]float64, len(p.alpha))
+		}
+		for c, t := range v.TempsC {
+			p.onlineSum[c] += t
+		}
+		p.onlineN++
+		if p.onlineN >= p.cfg.OnlineWindow {
+			p.alpha = rankIndices(p.onlineSum)
+			for c := range p.onlineSum {
+				p.onlineSum[c] = 0
+			}
+			p.onlineN = 0
+		}
+	}
+	return policy.TickDecision{}
+}
+
+// rankIndices maps values to (0.1, 0.9) by rank (highest value gets the
+// highest index).
+func rankIndices(values []float64) []float64 {
+	order := make([]int, len(values))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+	out := make([]float64, len(values))
+	if len(values) == 1 {
+		out[0] = 0.5
+		return out
+	}
+	for rank, id := range order {
+		out[id] = clampIndex(0.1 + 0.8*float64(rank)/float64(len(values)-1))
+	}
+	return out
+}
+
+// Probabilities exposes the allocation distribution.
+func (p *Adapt3D) Probabilities() []float64 { return p.eng.Probabilities() }
+
+// Alpha returns the thermal indices in use.
+func (p *Adapt3D) Alpha() []float64 { return append([]float64(nil), p.alpha...) }
+
+// GeometricIndices derives thermal indices purely from stack geometry:
+// the floorplan susceptibility score mapped into (0.05, 0.95). It is the
+// zero-cost fallback when no thermal model is available at design time.
+func GeometricIndices(stack *floorplan.Stack) []float64 {
+	n := stack.NumCores()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = clampIndex(stack.HotSusceptibility(i))
+	}
+	return out
+}
+
+// SteadyStateIndices derives thermal indices from the steady-state core
+// temperatures under a uniform reference power map (every core at its
+// nominal active power): hotter steady-state locations get higher α.
+// Cores are ranked by steady-state temperature and mapped evenly into
+// (0.1, 0.9); rank mapping keeps the full lateral ordering even when the
+// interlayer temperature difference dominates the absolute spread.
+func SteadyStateIndices(stack *floorplan.Stack, model *thermal.Model) ([]float64, error) {
+	ref := make([]float64, stack.NumBlocks())
+	for _, c := range stack.Cores() {
+		ref[stack.BlockIndex(c)] = 3.0 // nominal active power, Section IV-B
+	}
+	temps, err := model.SteadyState(ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline index solve failed: %w", err)
+	}
+	return rankIndices(model.CoreTemps(temps)), nil
+}
+
+func clampIndex(a float64) float64 {
+	if a < 0.05 {
+		return 0.05
+	}
+	if a > 0.95 {
+		return 0.95
+	}
+	return a
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+func view(n int, temps []float64) *policy.View {
+	exp := floorplan.EXP1
+	if n == 16 {
+		exp = floorplan.EXP3
+	}
+	return &policy.View{
+		TickS:      0.1,
+		TempsC:     temps,
+		Utils:      make([]float64, n),
+		QueueLens:  make([]int, n),
+		States:     make([]power.CoreState, n),
+		Levels:     make([]power.VfLevel, n),
+		Stack:      floorplan.MustBuild(exp),
+		DVFS:       power.DefaultDVFS(),
+		ThresholdC: 85,
+		TprefC:     80,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil stack accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.BetaInc = 0
+	if _, err := New(s, cfg); err == nil {
+		t.Error("zero beta accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Window = 0
+	if _, err := New(s, cfg); err == nil {
+		t.Error("zero window accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Alpha = []float64{0.5} // wrong length
+	if _, err := New(s, cfg); err == nil {
+		t.Error("short alpha accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Alpha = make([]float64, 8)
+	cfg.Alpha[0] = 1.5 // out of (0,1)
+	if _, err := New(s, cfg); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BetaInc != 0.01 || cfg.BetaDec != 0.1 || cfg.Window != 10 {
+		t.Errorf("constants %+v do not match the paper (βinc=0.01, βdec=0.1, window=10)", cfg)
+	}
+}
+
+// TestWeightEquation verifies Eq. 3 exactly.
+func TestWeightEquation(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	cfg := DefaultConfig()
+	cfg.Alpha = []float64{0.2, 0.8, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	p, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cooling direction (Tpref >= Tavg): W = βinc · Wdiff / α.
+	wdiff := 5.0
+	if got := p.weight(0, wdiff); math.Abs(got-0.01*5/0.2) > 1e-12 {
+		t.Errorf("increase weight = %g, want %g", got, 0.01*5/0.2)
+	}
+	// Heating direction: W = βdec · Wdiff · α (negative).
+	wdiff = -5.0
+	if got := p.weight(1, wdiff); math.Abs(got-0.1*(-5)*0.8) > 1e-12 {
+		t.Errorf("decrease weight = %g, want %g", got, 0.1*(-5)*0.8)
+	}
+}
+
+func TestWeightAsymmetry(t *testing.T) {
+	// Per Section III-B: when decreasing, high-α cores lose probability
+	// faster; when increasing, high-α cores gain more slowly.
+	s := floorplan.MustBuild(floorplan.EXP1)
+	cfg := DefaultConfig()
+	cfg.Alpha = []float64{0.2, 0.8, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	p, _ := New(s, cfg)
+	if !(p.weight(1, -3) < p.weight(0, -3)) {
+		t.Error("high-α core should lose probability faster when hot")
+	}
+	if !(p.weight(1, 3) < p.weight(0, 3)) {
+		t.Error("high-α core should gain probability more slowly when cool")
+	}
+}
+
+func TestProbabilitiesShiftAwayFromHotCore(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	p, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{84, 60, 60, 60, 60, 60, 60, 60} // hot but below threshold
+	v := view(8, temps)
+	for i := 0; i < 30; i++ {
+		p.Tick(v)
+	}
+	probs := p.Probabilities()
+	for c := 1; c < 8; c++ {
+		if probs[0] >= probs[c] {
+			t.Errorf("hot core 0 probability %g should be below cool core %d's %g", probs[0], c, probs[c])
+		}
+	}
+	sum := 0.0
+	for _, x := range probs {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestThresholdZeroesProbability(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	p, _ := New(s, cfg)
+	temps := []float64{90, 60, 60, 60, 60, 60, 60, 60}
+	v := view(8, temps)
+	p.Tick(v)
+	if got := p.Probabilities()[0]; got != 0 {
+		t.Errorf("above-threshold core probability = %g, want 0", got)
+	}
+	// And sampling never selects it.
+	for i := 0; i < 40; i++ {
+		if c := p.AssignCore(v, workload.Job{ID: i}); c == 0 {
+			t.Fatal("assigned to above-threshold core")
+		}
+	}
+}
+
+func TestGeometricIndicesOrdering(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP3)
+	alpha := GeometricIndices(s)
+	if len(alpha) != 16 {
+		t.Fatalf("got %d indices", len(alpha))
+	}
+	for i := 0; i < 8; i++ {
+		if alpha[8+i] <= alpha[i] {
+			t.Errorf("far-layer core %d index %g should exceed near-layer core %d index %g",
+				8+i, alpha[8+i], i, alpha[i])
+		}
+	}
+	for i, a := range alpha {
+		if a <= 0 || a >= 1 {
+			t.Errorf("α[%d]=%g out of (0,1)", i, a)
+		}
+	}
+}
+
+func TestSteadyStateIndicesOrdering(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP3)
+	m, err := thermal.NewBlockModel(s, thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := SteadyStateIndices(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores on layer 2 are hotter at steady state, so their indices must
+	// dominate their layer-0 twins.
+	for i := 0; i < 8; i++ {
+		if alpha[8+i] <= alpha[i] {
+			t.Errorf("steady-state α: far core %d (%g) should exceed near core %d (%g)",
+				8+i, alpha[8+i], i, alpha[i])
+		}
+	}
+}
+
+func TestNewWithModel(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP2)
+	m, _ := thermal.NewBlockModel(s, thermal.DefaultParams())
+	p, err := NewWithModel(s, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Alpha()) != 8 {
+		t.Errorf("alpha length %d", len(p.Alpha()))
+	}
+}
+
+func TestAdapt3DFavorsNearSinkLayerUnderStress(t *testing.T) {
+	// With every core equally warm (slightly above Tpref), the α
+	// asymmetry drains hot-spot-prone far-layer cores faster (the
+	// βdec·Wdiff·α term of Eq. 3), shifting allocation mass toward the
+	// near-sink layer. (When everything is cool all cores saturate at
+	// full willingness — uniform allocation is then the correct answer.)
+	s := floorplan.MustBuild(floorplan.EXP3)
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	p, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, 16)
+	for i := range temps {
+		temps[i] = 83 // uniformly a few degrees above Tpref=80
+	}
+	v := view(16, temps)
+	for i := 0; i < 3; i++ {
+		p.Tick(v)
+	}
+	probs := p.Probabilities()
+	nearMass, farMass := 0.0, 0.0
+	for i := 0; i < 8; i++ {
+		nearMass += probs[i]
+		farMass += probs[8+i]
+	}
+	if nearMass <= farMass {
+		t.Errorf("near-sink layer mass %g should exceed far-layer mass %g under uniform stress", nearMass, farMass)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	mk := func() *Adapt3D {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		p, _ := New(s, cfg)
+		return p
+	}
+	a, b := mk(), mk()
+	temps := []float64{70, 65, 72, 60, 75, 68, 62, 71}
+	v := view(8, temps)
+	for i := 0; i < 10; i++ {
+		a.Tick(v)
+		b.Tick(v)
+	}
+	for i := 0; i < 100; i++ {
+		if a.AssignCore(v, workload.Job{ID: i}) != b.AssignCore(v, workload.Job{ID: i}) {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestNameAndInterfaceCompliance(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	p, _ := New(s, DefaultConfig())
+	var _ policy.Policy = p
+	if p.Name() != "Adapt3D" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	// Tick with no valid observation should not panic and returns an
+	// empty decision.
+	d := p.Tick(view(8, make([]float64, 8)))
+	if d.Levels != nil || d.Gate != nil || d.Migrations != nil {
+		t.Error("Adapt3D should not actuate DVFS or migrations by itself")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestOnlineWindowRefreshesAlpha(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.OnlineWindow = 5
+	// Start from uniform indices so any change must come from the online
+	// estimator.
+	cfg.Alpha = []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	p, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 3 consistently hottest, core 0 coolest.
+	temps := []float64{60, 65, 66, 78, 67, 68, 69, 70}
+	v := view(8, temps)
+	for i := 0; i < 5; i++ {
+		p.Tick(v)
+	}
+	alpha := p.Alpha()
+	if alpha[3] != 0.9 {
+		t.Errorf("hottest core α = %g, want 0.9 after the online refresh", alpha[3])
+	}
+	if alpha[0] != 0.1 {
+		t.Errorf("coolest core α = %g, want 0.1", alpha[0])
+	}
+	for i := 1; i < 8; i++ {
+		if i != 3 && alpha[i] >= alpha[3] {
+			t.Errorf("core %d α %g should be below hottest core's", i, alpha[i])
+		}
+	}
+}
+
+func TestOnlineWindowResetsBetweenWindows(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.OnlineWindow = 3
+	p, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First window: core 0 hottest.
+	hot0 := []float64{90, 60, 60, 60, 60, 60, 60, 60}
+	for i := 0; i < 3; i++ {
+		p.Tick(view(8, hot0))
+	}
+	if a := p.Alpha(); a[0] != 0.9 {
+		t.Fatalf("after first window α[0] = %g, want 0.9", a[0])
+	}
+	// Second window: core 7 hottest; the estimator must forget window 1.
+	hot7 := []float64{60, 60, 60, 60, 60, 60, 60, 90}
+	for i := 0; i < 3; i++ {
+		p.Tick(view(8, hot7))
+	}
+	if a := p.Alpha(); a[7] != 0.9 {
+		t.Errorf("after second window α[7] = %g, want 0.9 (stale history retained?)", a[7])
+	}
+}
+
+func TestRankIndicesProperties(t *testing.T) {
+	vals := []float64{5, 1, 3, 9}
+	idx := rankIndices(vals)
+	if len(idx) != 4 {
+		t.Fatal("length mismatch")
+	}
+	// Ordering preserved.
+	if !(idx[1] < idx[2] && idx[2] < idx[0] && idx[0] < idx[3]) {
+		t.Errorf("rank ordering broken: %v", idx)
+	}
+	if math.Abs(idx[1]-0.1) > 1e-12 || math.Abs(idx[3]-0.9) > 1e-12 {
+		t.Errorf("extremes should map to 0.1/0.9: %v", idx)
+	}
+	if one := rankIndices([]float64{42}); one[0] != 0.5 {
+		t.Errorf("singleton should map to 0.5, got %g", one[0])
+	}
+}

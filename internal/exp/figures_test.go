@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// fastFig keeps figure-report tests quick: one light benchmark, one
+// experiment, short runs.
+func fastFig() FigureConfig {
+	return FigureConfig{
+		DurationS:  20,
+		Seed:       3,
+		Benchmarks: []string{"gzip"},
+		Exps:       []floorplan.Experiment{floorplan.EXP1},
+	}
+}
+
+func TestFig3Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow")
+	}
+	hs, perf, m, err := Fig3Report(fastFig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.NumRows() != len(PolicyOrder) || perf.NumRows() != len(PolicyOrder) {
+		t.Errorf("figure tables have %d/%d rows, want %d", hs.NumRows(), perf.NumRows(), len(PolicyOrder))
+	}
+	def, err := m.Get("Default", floorplan.EXP1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.NormPerf != 1 {
+		t.Errorf("Default normalized performance %g", def.NormPerf)
+	}
+	var b strings.Builder
+	if err := hs.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Adapt3D&DVFS_FLP") {
+		t.Error("hot-spot table missing the hybrid rows")
+	}
+}
+
+func TestFig4Fig5Fig6Reports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow")
+	}
+	cfg := fastFig()
+	t4, m4, err := Fig4Report(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.NumRows() != len(PolicyOrder) {
+		t.Errorf("Fig4 rows %d", t4.NumRows())
+	}
+	if c, err := m4.Get("Default", floorplan.EXP1); err != nil || c.AvgPowerW <= 0 {
+		t.Errorf("Fig4 matrix cell broken: %+v %v", c, err)
+	}
+	t5, _, err := Fig5Report(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t5.NumRows() != len(PolicyOrder) {
+		t.Errorf("Fig5 rows %d", t5.NumRows())
+	}
+	// Fig6 defaults to the paper's EXP-1/EXP-3 pair when Exps is nil.
+	cfg6 := fastFig()
+	cfg6.Exps = nil
+	t6, m6, err := Fig6Report(cfg6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m6.Config.Exps) != 2 {
+		t.Errorf("Fig6 should default to two experiments, got %v", m6.Config.Exps)
+	}
+	var b strings.Builder
+	if err := t6.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "EXP-3") {
+		t.Error("Fig6 table missing EXP-3 column")
+	}
+}
+
+func TestWriteAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep is slow")
+	}
+	var buf bytes.Buffer
+	noDPM, withDPM, err := WriteAllFigures(&buf, fastFig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noDPM == nil || withDPM == nil {
+		t.Fatal("matrices not returned")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"TABLE I", "TABLE II", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+		"Energy", "Adapt3D",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MatrixConfig parameterizes a policy x experiment sweep.
+type MatrixConfig struct {
+	// Exps are the stack configurations to sweep (default: all four).
+	Exps []floorplan.Experiment
+	// Benchmarks are Table I benchmark names; the reported metrics are
+	// averaged across them (default: a representative mix).
+	Benchmarks []string
+	// Policies restricts the roster (default: PolicyOrder).
+	Policies []string
+	// UseDPM composes the fixed-timeout power manager (Figures 4-6).
+	UseDPM bool
+	// DurationS per run (default 300 s; the paper uses half-hour traces).
+	DurationS float64
+	// Seed drives trace generation and stochastic policies.
+	Seed int64
+}
+
+// DefaultBenchmarks is the workload mix driving the figure sweeps: four
+// Table I applications spanning the utilization regimes the paper's
+// suite covers (its eight benchmarks average ~37% utilization).
+func DefaultBenchmarks() []string {
+	return []string{"Web-med", "Web&DB", "Database", "MPlayer&Web"}
+}
+
+// Cell is the aggregated outcome for one (policy, experiment) pair.
+type Cell struct {
+	Policy string
+	Exp    floorplan.Experiment
+
+	HotSpotPct  float64 // mean over benchmarks
+	GradientPct float64
+	CyclePct    float64
+
+	// NormPerf is mean(baseline response / policy response) over the
+	// benchmark mix (1.0 for the baseline itself, <1 when slower).
+	NormPerf float64
+	// DelayPct is the mean completion-time increase vs Default, percent.
+	DelayPct float64
+
+	AvgPowerW    float64
+	EnergyJ      float64
+	MaxTempC     float64
+	AvgCoreTempC float64
+	MaxVerticalC float64
+	Migrations   int
+}
+
+// Matrix is the full sweep result.
+type Matrix struct {
+	Config MatrixConfig
+	// Cells indexed [policy][exp] following Config.Policies/Config.Exps.
+	Cells [][]Cell
+}
+
+// Get returns the cell for a policy name and experiment.
+func (m *Matrix) Get(policyName string, e floorplan.Experiment) (Cell, error) {
+	for i, p := range m.Config.Policies {
+		if p != policyName {
+			continue
+		}
+		for j, x := range m.Config.Exps {
+			if x == e {
+				return m.Cells[i][j], nil
+			}
+		}
+	}
+	return Cell{}, fmt.Errorf("exp: no cell for %q/%v", policyName, e)
+}
+
+func (c MatrixConfig) withDefaults() MatrixConfig {
+	if c.Exps == nil {
+		c.Exps = floorplan.AllExperiments()
+	}
+	if c.Benchmarks == nil {
+		c.Benchmarks = DefaultBenchmarks()
+	}
+	if c.Policies == nil {
+		c.Policies = append([]string{}, PolicyOrder...)
+	}
+	if c.DurationS == 0 {
+		c.DurationS = 300
+	}
+	return c
+}
+
+// Run executes the sweep. For fairness, every policy replays the exact
+// same pre-generated job trace per (experiment, benchmark) pair, and the
+// per-benchmark performance is normalized against the Default policy on
+// that same trace before averaging. Runs are independent simulations and
+// execute on a worker pool sized to the machine; results are aggregated
+// in a fixed order, so the sweep stays deterministic.
+func Run(cfg MatrixConfig) (*Matrix, error) {
+	cfg = cfg.withDefaults()
+	m := &Matrix{Config: cfg}
+
+	// Pre-generate every trace (bench x core-count) up front so workers
+	// only read shared state.
+	type benchRun struct {
+		bench workload.Benchmark
+		jobs  map[int][]workload.Job
+	}
+	coreCounts := make(map[int]bool)
+	for _, e := range cfg.Exps {
+		coreCounts[e.NumCores()] = true
+	}
+	benches := make([]benchRun, 0, len(cfg.Benchmarks))
+	for _, name := range cfg.Benchmarks {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		br := benchRun{bench: b, jobs: make(map[int][]workload.Job)}
+		for cores := range coreCounts {
+			j, err := workload.Generate(workload.GenConfig{
+				Bench:     b,
+				NumCores:  cores,
+				DurationS: cfg.DurationS,
+				Seed:      cfg.Seed + int64(b.ID),
+			})
+			if err != nil {
+				return nil, err
+			}
+			br.jobs[cores] = j
+		}
+		benches = append(benches, br)
+	}
+
+	runOne := func(policyName string, e floorplan.Experiment, br *benchRun) (*sim.Result, error) {
+		stack, err := floorplan.Build(e)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := BuildPolicy(policyName, stack, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sim.Config{
+			Exp:       e,
+			Policy:    pol,
+			UseDPM:    cfg.UseDPM,
+			Jobs:      br.jobs[stack.NumCores()],
+			DurationS: cfg.DurationS,
+			Seed:      cfg.Seed,
+		})
+	}
+
+	// Enumerate every (policy, exp, bench) run, including the Default
+	// baseline (which is usually part of cfg.Policies anyway).
+	type task struct {
+		pi, ei, bi int // pi == -1 marks a pure baseline run
+		name       string
+	}
+	var tasks []task
+	hasDefault := false
+	for pi, p := range cfg.Policies {
+		if p == "Default" {
+			hasDefault = true
+		}
+		for ei := range cfg.Exps {
+			for bi := range benches {
+				tasks = append(tasks, task{pi, ei, bi, p})
+			}
+		}
+	}
+	if !hasDefault {
+		for ei := range cfg.Exps {
+			for bi := range benches {
+				tasks = append(tasks, task{-1, ei, bi, "Default"})
+			}
+		}
+	}
+
+	results := make([]*sim.Result, len(tasks))
+	errs := make([]error, len(tasks))
+	workers := runtime.NumCPU()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				tk := tasks[ti]
+				results[ti], errs[ti] = runOne(tk.name, cfg.Exps[tk.ei], &benches[tk.bi])
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+	for ti, err := range errs {
+		if err != nil {
+			tk := tasks[ti]
+			return nil, fmt.Errorf("exp: %s on %v (%s): %w", tk.name, cfg.Exps[tk.ei], benches[tk.bi].bench.Name, err)
+		}
+	}
+
+	// Baseline responses per (exp, bench) for performance normalization.
+	baseResp := make(map[string]float64)
+	key := func(ei, bi int) string { return fmt.Sprintf("%d/%d", ei, bi) }
+	for ti, tk := range tasks {
+		if tk.name == "Default" {
+			baseResp[key(tk.ei, tk.bi)] = results[ti].Sched.MeanResponseS
+		}
+	}
+
+	// Deterministic aggregation in policy/exp/bench order.
+	m.Cells = make([][]Cell, len(cfg.Policies))
+	for pi := range cfg.Policies {
+		m.Cells[pi] = make([]Cell, len(cfg.Exps))
+		for ei, e := range cfg.Exps {
+			m.Cells[pi][ei] = Cell{Policy: cfg.Policies[pi], Exp: e}
+		}
+	}
+	counts := make([][]float64, len(cfg.Policies))
+	norm := make([][]float64, len(cfg.Policies))
+	delay := make([][]float64, len(cfg.Policies))
+	for pi := range cfg.Policies {
+		counts[pi] = make([]float64, len(cfg.Exps))
+		norm[pi] = make([]float64, len(cfg.Exps))
+		delay[pi] = make([]float64, len(cfg.Exps))
+	}
+	for ti, tk := range tasks {
+		if tk.pi < 0 {
+			continue
+		}
+		r := results[ti]
+		cell := &m.Cells[tk.pi][tk.ei]
+		cell.HotSpotPct += r.Metrics.HotSpotPct
+		cell.GradientPct += r.Metrics.GradientPct
+		cell.CyclePct += r.Metrics.CyclePct
+		cell.AvgPowerW += r.AvgPowerW
+		cell.EnergyJ += r.EnergyJ
+		cell.AvgCoreTempC += r.Metrics.AvgCoreTempC
+		if r.Metrics.MaxTempC > cell.MaxTempC {
+			cell.MaxTempC = r.Metrics.MaxTempC
+		}
+		if r.Metrics.MaxVerticalC > cell.MaxVerticalC {
+			cell.MaxVerticalC = r.Metrics.MaxVerticalC
+		}
+		cell.Migrations += r.Sched.TotalMigration
+		base := baseResp[key(tk.ei, tk.bi)]
+		norm[tk.pi][tk.ei] += metrics.NormalizedPerformance(base, r.Sched.MeanResponseS)
+		delay[tk.pi][tk.ei] += metrics.DelayPct(base, r.Sched.MeanResponseS)
+		counts[tk.pi][tk.ei]++
+	}
+	for pi := range cfg.Policies {
+		for ei := range cfg.Exps {
+			n := counts[pi][ei]
+			if n == 0 {
+				continue
+			}
+			c := &m.Cells[pi][ei]
+			c.HotSpotPct /= n
+			c.GradientPct /= n
+			c.CyclePct /= n
+			c.AvgPowerW /= n
+			c.AvgCoreTempC /= n
+			c.NormPerf = norm[pi][ei] / n
+			c.DelayPct = delay[pi][ei] / n
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// TestPolicyOrderingProbe runs a reduced matrix and logs the policy
+// comparison on EXP-1 and EXP-3 — the calibration view for the paper's
+// headline claims. Run with -v.
+func TestPolicyOrderingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe is slow")
+	}
+	m, err := Run(MatrixConfig{
+		Exps:       []floorplan.Experiment{floorplan.EXP1, floorplan.EXP3},
+		Benchmarks: []string{"Web-med", "Web&DB", "Database", "MPlayer&Web"},
+		DurationS:  240,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, pname := range m.Config.Policies {
+		for ei, e := range m.Config.Exps {
+			c := m.Cells[pi][ei]
+			t.Logf("%-18s %v: hot=%6.2f%% grad=%6.2f%% cyc=%6.2f%% perf=%.3f delay=%+6.2f%% maxT=%.1f avgT=%.1f pow=%.1fW",
+				pname, e, c.HotSpotPct, c.GradientPct, c.CyclePct, c.NormPerf, c.DelayPct, c.MaxTempC, c.AvgCoreTempC, c.AvgPowerW)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package floorplan models the physical layout of 3D-stacked multicore
+// chips: functional blocks, silicon layers, and vertical stacks, together
+// with the four experimental configurations (EXP-1..EXP-4) evaluated in
+// Coskun et al., "Dynamic Thermal Management in 3D Multicore
+// Architectures" (DATE 2009), all derived from the UltraSPARC T1
+// (Niagara-1) floorplan.
+//
+// Conventions: in-plane coordinates and extents are in millimetres;
+// layer 0 is the layer closest to the heat sink, with higher indices
+// stacked further away (harder to cool).
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// BlockKind classifies a floorplan block by function.
+type BlockKind int
+
+const (
+	// KindCore is a SPARC processing core (power-managed, schedulable).
+	KindCore BlockKind = iota
+	// KindL2 is an L2 cache data bank ("scdata" in the T1 floorplan).
+	KindL2
+	// KindCrossbar is the core-to-cache crossbar (CCX).
+	KindCrossbar
+	// KindOther aggregates the remaining units (tags, buffers, I/O, FPU).
+	KindOther
+)
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindL2:
+		return "l2"
+	case KindCrossbar:
+		return "xbar"
+	case KindOther:
+		return "other"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// Block is one rectangular functional unit on a silicon layer.
+type Block struct {
+	Name  string
+	Kind  BlockKind
+	Rect  geometry.Rect // position within the layer, mm
+	Layer int           // index of the layer this block sits on (0 = nearest sink)
+
+	// CoreID numbers cores consecutively across the whole stack
+	// (0..NumCores-1) and is -1 for non-core blocks.
+	CoreID int
+	// L2ID numbers L2 banks consecutively across the stack and is -1
+	// for non-L2 blocks.
+	L2ID int
+}
+
+// Area returns the block area in mm².
+func (b *Block) Area() float64 { return b.Rect.Area() }
+
+// IsCore reports whether the block is a processing core.
+func (b *Block) IsCore() bool { return b.Kind == KindCore }
+
+// String implements fmt.Stringer.
+func (b *Block) String() string {
+	return fmt.Sprintf("%s[L%d %s %.1fmm²]", b.Name, b.Layer, b.Kind, b.Area())
+}

@@ -1,0 +1,128 @@
+package floorplan
+
+import "fmt"
+
+// Experiment identifies one of the paper's four 3D configurations (Fig. 1).
+type Experiment int
+
+const (
+	// EXP1 is a two-layer stack with all 8 cores on the layer next to the
+	// heat sink and all memory (L2 banks) on the upper layer.
+	EXP1 Experiment = 1
+	// EXP2 is a two-layer stack where each layer holds 4 cores and 2 L2
+	// banks (logic and memory mixed per layer).
+	EXP2 Experiment = 2
+	// EXP3 duplicates the EXP1 layer pair to four tiers (16 cores):
+	// core, memory, core, memory from the sink upward.
+	EXP3 Experiment = 3
+	// EXP4 duplicates the EXP2 mixed layer to four tiers (16 cores).
+	EXP4 Experiment = 4
+)
+
+// String implements fmt.Stringer.
+func (e Experiment) String() string { return fmt.Sprintf("EXP-%d", int(e)) }
+
+// AllExperiments lists the four configurations in paper order.
+func AllExperiments() []Experiment { return []Experiment{EXP1, EXP2, EXP3, EXP4} }
+
+// ParseExperiment converts 1..4 (or "EXP-1".."EXP-4") to an Experiment.
+func ParseExperiment(s string) (Experiment, error) {
+	switch s {
+	case "1", "EXP1", "EXP-1", "exp1":
+		return EXP1, nil
+	case "2", "EXP2", "EXP-2", "exp2":
+		return EXP2, nil
+	case "3", "EXP3", "EXP-3", "exp3":
+		return EXP3, nil
+	case "4", "EXP4", "EXP-4", "exp4":
+		return EXP4, nil
+	}
+	return 0, fmt.Errorf("floorplan: unknown experiment %q (want 1..4)", s)
+}
+
+// NumCores returns the core count of the configuration (8 for two-layer,
+// 16 for four-layer stacks).
+func (e Experiment) NumCores() int {
+	if e == EXP3 || e == EXP4 {
+		return 16
+	}
+	return 8
+}
+
+// NumLayers returns the silicon tier count.
+func (e Experiment) NumLayers() int {
+	if e == EXP3 || e == EXP4 {
+		return 4
+	}
+	return 2
+}
+
+// Build constructs the stack for the experiment with the paper's joint
+// interlayer resistivity of 0.23 m·K/W (>=1024 TSVs, <1% area overhead;
+// Section IV-C). Use BuildWithResistivity to explore other TSV densities.
+func Build(e Experiment) (*Stack, error) {
+	return BuildWithResistivity(e, 0.23)
+}
+
+// BuildWithResistivity constructs the stack for the experiment with an
+// explicit joint interlayer resistivity (m·K/W).
+func BuildWithResistivity(e Experiment, jointResistivity float64) (*Stack, error) {
+	if jointResistivity <= 0 {
+		return nil, fmt.Errorf("floorplan: joint resistivity must be positive, got %g", jointResistivity)
+	}
+	s := &Stack{
+		Name:                     e.String(),
+		InterlayerResistivityMKW: jointResistivity,
+		InterlayerThicknessMM:    InterlayerThicknessMM,
+	}
+	switch e {
+	case EXP1:
+		// The memory layer bonds to the package/heat-sink side; the
+		// logic layer sits on the far side. This is the conventional
+		// orientation for logic-plus-memory stacks (the logic die faces
+		// the substrate for I/O), and it is what makes the separated
+		// design thermally challenging: every core is in the
+		// poorly-cooled position (Section IV-A).
+		s.Layers = []*Layer{
+			memoryLayer(0, 0),
+			coreLayer(1, 0),
+		}
+	case EXP2:
+		s.Layers = []*Layer{
+			mixedLayer(0, 0, 0),
+			mixedLayer(1, 4, 2),
+		}
+	case EXP3:
+		s.Layers = []*Layer{
+			memoryLayer(0, 0),
+			coreLayer(1, 0),
+			memoryLayer(2, 4),
+			coreLayer(3, 8),
+		}
+	case EXP4:
+		s.Layers = []*Layer{
+			mixedLayer(0, 0, 0),
+			mixedLayer(1, 4, 2),
+			mixedLayer(2, 8, 4),
+			mixedLayer(3, 12, 6),
+		}
+	default:
+		return nil, fmt.Errorf("floorplan: unknown experiment %d", int(e))
+	}
+	if err := s.finish(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustBuild is Build for statically known experiments; it panics on error.
+func MustBuild(e Experiment) *Stack {
+	s, err := Build(e)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Derived in-plane dimensions of the UltraSPARC-T1-based blocks. All
+// values follow from Table II areas and the 11.5 x 10 mm die outline.
+const (
+	coreW = ChipWMM / 4         // 2.875 mm: four cores per row
+	coreH = CoreAreaMM2 / coreW // 3.478 mm: core area 10 mm²
+	l2W   = ChipWMM / 2         // 5.75 mm: two L2 banks per row
+	l2H   = L2AreaMM2 / l2W     // 3.304 mm: L2 area 19 mm²
+)
+
+// coreLayer builds an 8-core logic layer in the Niagara style: two rows
+// of four cores along the top and bottom die edges with the crossbar and
+// the remaining units ("other": FPU, I/O, buffers) in the central band.
+// Core IDs are assigned starting at firstCore, bottom row left-to-right
+// then top row left-to-right.
+func coreLayer(index, firstCore int) *Layer {
+	l := &Layer{Index: index, ThicknessMM: DieThicknessMM}
+	id := firstCore
+	for i := 0; i < 4; i++ { // bottom row
+		l.Blocks = append(l.Blocks, &Block{
+			Name:   fmt.Sprintf("core%d", id),
+			Kind:   KindCore,
+			Rect:   geometry.MustRect(float64(i)*coreW, 0, coreW, coreH),
+			Layer:  index,
+			CoreID: id,
+			L2ID:   -1,
+		})
+		id++
+	}
+	for i := 0; i < 4; i++ { // top row
+		l.Blocks = append(l.Blocks, &Block{
+			Name:   fmt.Sprintf("core%d", id),
+			Kind:   KindCore,
+			Rect:   geometry.MustRect(float64(i)*coreW, ChipHMM-coreH, coreW, coreH),
+			Layer:  index,
+			CoreID: id,
+			L2ID:   -1,
+		})
+		id++
+	}
+	midY := coreH
+	midH := ChipHMM - 2*coreH
+	l.Blocks = append(l.Blocks,
+		&Block{
+			Name: fmt.Sprintf("xbar_L%d", index), Kind: KindCrossbar,
+			Rect: geometry.MustRect(0, midY, ChipWMM/2, midH), Layer: index, CoreID: -1, L2ID: -1,
+		},
+		&Block{
+			Name: fmt.Sprintf("other_L%d", index), Kind: KindOther,
+			Rect: geometry.MustRect(ChipWMM/2, midY, ChipWMM/2, midH), Layer: index, CoreID: -1, L2ID: -1,
+		},
+	)
+	return l
+}
+
+// memoryLayer builds a cache-only layer: four L2 data banks in a 2x2
+// arrangement along the top and bottom edges, with the tag/buffer/test
+// structures in the central band. L2 IDs start at firstL2, bottom row
+// left-to-right then top row.
+func memoryLayer(index, firstL2 int) *Layer {
+	l := &Layer{Index: index, ThicknessMM: DieThicknessMM}
+	id := firstL2
+	for i := 0; i < 2; i++ { // bottom row
+		l.Blocks = append(l.Blocks, &Block{
+			Name:   fmt.Sprintf("scdata%d", id),
+			Kind:   KindL2,
+			Rect:   geometry.MustRect(float64(i)*l2W, 0, l2W, l2H),
+			Layer:  index,
+			CoreID: -1,
+			L2ID:   id,
+		})
+		id++
+	}
+	for i := 0; i < 2; i++ { // top row
+		l.Blocks = append(l.Blocks, &Block{
+			Name:   fmt.Sprintf("scdata%d", id),
+			Kind:   KindL2,
+			Rect:   geometry.MustRect(float64(i)*l2W, ChipHMM-l2H, l2W, l2H),
+			Layer:  index,
+			CoreID: -1,
+			L2ID:   id,
+		})
+		id++
+	}
+	midY := l2H
+	midH := ChipHMM - 2*l2H
+	l.Blocks = append(l.Blocks,
+		&Block{
+			Name: fmt.Sprintf("memother%dA", index), Kind: KindOther,
+			Rect: geometry.MustRect(0, midY, ChipWMM/2, midH), Layer: index, CoreID: -1, L2ID: -1,
+		},
+		&Block{
+			Name: fmt.Sprintf("memother%dB", index), Kind: KindOther,
+			Rect: geometry.MustRect(ChipWMM/2, midY, ChipWMM/2, midH), Layer: index, CoreID: -1, L2ID: -1,
+		},
+	)
+	return l
+}
+
+// mixedLayer builds an EXP-2-style layer holding four cores, two L2
+// banks, and a crossbar/other band in between. Odd-indexed layers are
+// flipped vertically (cores on the top edge instead of the bottom) so
+// that stacked tiers never place cores directly above cores — the
+// standard thermally-aware stacking choice for mixed layers.
+func mixedLayer(index, firstCore, firstL2 int) *Layer {
+	l := &Layer{Index: index, ThicknessMM: DieThicknessMM}
+	flip := index%2 == 1
+	coreY, l2Y := 0.0, ChipHMM-l2H
+	if flip {
+		coreY, l2Y = ChipHMM-coreH, 0.0
+	}
+	id := firstCore
+	for i := 0; i < 4; i++ {
+		l.Blocks = append(l.Blocks, &Block{
+			Name:   fmt.Sprintf("core%d", id),
+			Kind:   KindCore,
+			Rect:   geometry.MustRect(float64(i)*coreW, coreY, coreW, coreH),
+			Layer:  index,
+			CoreID: id,
+			L2ID:   -1,
+		})
+		id++
+	}
+	lid := firstL2
+	for i := 0; i < 2; i++ {
+		l.Blocks = append(l.Blocks, &Block{
+			Name:   fmt.Sprintf("scdata%d", lid),
+			Kind:   KindL2,
+			Rect:   geometry.MustRect(float64(i)*l2W, l2Y, l2W, l2H),
+			Layer:  index,
+			CoreID: -1,
+			L2ID:   lid,
+		})
+		lid++
+	}
+	midY := coreH
+	if flip {
+		midY = l2H
+	}
+	midH := ChipHMM - coreH - l2H
+	l.Blocks = append(l.Blocks,
+		&Block{
+			Name: fmt.Sprintf("xbar_L%d", index), Kind: KindCrossbar,
+			Rect: geometry.MustRect(0, midY, ChipWMM/2, midH), Layer: index, CoreID: -1, L2ID: -1,
+		},
+		&Block{
+			Name: fmt.Sprintf("other_L%d", index), Kind: KindOther,
+			Rect: geometry.MustRect(ChipWMM/2, midY, ChipWMM/2, midH), Layer: index, CoreID: -1, L2ID: -1,
+		},
+	)
+	return l
+}

@@ -1,0 +1,93 @@
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderLayer draws an ASCII top view of one layer, scaled to roughly
+// cols x rows characters. Each block is filled with a letter keyed in the
+// legend below the drawing. It reproduces the information content of the
+// paper's Figure 1.
+func RenderLayer(l *Layer, cols, rows int) string {
+	if cols < 12 {
+		cols = 12
+	}
+	if rows < 6 {
+		rows = 6
+	}
+	bounds := l.Bounds()
+	canvas := make([][]byte, rows)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(".", cols))
+	}
+	glyphs := "CDEFGHIJKLMNOPQRSTUVWXYZabcdefgh"
+	// Stable ordering: cores first by CoreID, then L2s, then the rest by name.
+	blocks := append([]*Block(nil), l.Blocks...)
+	sort.Slice(blocks, func(i, j int) bool {
+		bi, bj := blocks[i], blocks[j]
+		if bi.Kind != bj.Kind {
+			return bi.Kind < bj.Kind
+		}
+		if bi.Kind == KindCore {
+			return bi.CoreID < bj.CoreID
+		}
+		if bi.Kind == KindL2 {
+			return bi.L2ID < bj.L2ID
+		}
+		return bi.Name < bj.Name
+	})
+	var legend strings.Builder
+	for bi, b := range blocks {
+		g := byte('?')
+		if bi < len(glyphs) {
+			g = glyphs[bi]
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				// Map character cell centre to die coordinates. Row 0 is
+				// drawn at the top, which corresponds to high Y.
+				x := bounds.X + (float64(c)+0.5)/float64(cols)*bounds.W
+				y := bounds.Y + (float64(rows-1-r)+0.5)/float64(rows)*bounds.H
+				if b.Rect.Contains(x, y) && canvas[r][c] == '.' {
+					canvas[r][c] = g
+				}
+			}
+		}
+		fmt.Fprintf(&legend, "  %c = %-12s (%s, %.1f mm²)\n", g, b.Name, b.Kind, b.Area())
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "Layer %d (%.2f mm silicon)%s\n", l.Index, l.ThicknessMM, layerPosition(l.Index))
+	border := "+" + strings.Repeat("-", cols) + "+"
+	out.WriteString(border + "\n")
+	for _, row := range canvas {
+		out.WriteString("|" + string(row) + "|\n")
+	}
+	out.WriteString(border + "\n")
+	out.WriteString(legend.String())
+	return out.String()
+}
+
+func layerPosition(index int) string {
+	if index == 0 {
+		return "  [closest to heat sink]"
+	}
+	return ""
+}
+
+// RenderStack draws every layer of the stack from the top tier down to the
+// one adjacent to the heat sink, followed by the package.
+func RenderStack(s *Stack, cols, rows int) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s: %d layers, %d cores, %d L2 banks, joint interlayer resistivity %.3g mK/W\n\n",
+		s.Name, s.NumLayers(), s.NumCores(), len(s.L2s()), s.InterlayerResistivityMKW)
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		out.WriteString(RenderLayer(s.Layers[i], cols, rows))
+		if i > 0 {
+			fmt.Fprintf(&out, "   ~~~ interface material %.2f mm ~~~\n", s.InterlayerThicknessMM)
+		}
+	}
+	out.WriteString("   ===== spreader / heat sink / convection to ambient =====\n")
+	return out.String()
+}

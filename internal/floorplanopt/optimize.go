@@ -1,0 +1,156 @@
+// Package floorplanopt implements the design-stage alternative the paper
+// positions itself against (Section II, [9], [26]): thermally-aware 3D
+// floorplanning. It searches over the stacking order of a set of
+// prepared silicon tiers, evaluating each candidate with the steady-state
+// thermal model under a reference power map, and returns the ordering
+// with the lowest peak temperature. Dynamic policies (the paper's topic)
+// then run on whatever ordering manufacturing constraints actually
+// allow — the two approaches compose.
+package floorplanopt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// Reorder builds a new stack whose silicon tiers follow perm: the tier
+// at perm[i] of the source becomes layer i of the result (layer 0 is the
+// sink side). Blocks are deep-copied with corrected layer indices; the
+// interlayer interface parameters carry over.
+func Reorder(s *floorplan.Stack, perm []int) (*floorplan.Stack, error) {
+	if len(perm) != len(s.Layers) {
+		return nil, fmt.Errorf("floorplanopt: permutation of length %d for %d layers", len(perm), len(s.Layers))
+	}
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return nil, fmt.Errorf("floorplanopt: invalid permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	out := &floorplan.Stack{
+		Name:                     fmt.Sprintf("%s-perm%v", s.Name, perm),
+		InterlayerResistivityMKW: s.InterlayerResistivityMKW,
+		InterlayerThicknessMM:    s.InterlayerThicknessMM,
+	}
+	for newIdx, srcIdx := range perm {
+		src := s.Layers[srcIdx]
+		layer := &floorplan.Layer{Index: newIdx, ThicknessMM: src.ThicknessMM}
+		for _, b := range src.Blocks {
+			nb := *b
+			nb.Layer = newIdx
+			layer.Blocks = append(layer.Blocks, &nb)
+		}
+		out.Layers = append(out.Layers, layer)
+	}
+	if err := out.Finalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Objective scores a candidate stack; lower is better.
+type Objective func(*floorplan.Stack) (float64, error)
+
+// PeakSteadyTemp returns an objective that evaluates the steady-state
+// peak block temperature under a uniform reference power map (cores at
+// the paper's 3 W nominal active power).
+func PeakSteadyTemp(params thermal.Params) Objective {
+	return func(s *floorplan.Stack) (float64, error) {
+		m, err := thermal.NewBlockModel(s, params)
+		if err != nil {
+			return 0, err
+		}
+		pw := make([]float64, s.NumBlocks())
+		for _, c := range s.Cores() {
+			pw[s.BlockIndex(c)] = 3
+		}
+		temps, err := m.SteadyState(pw)
+		if err != nil {
+			return 0, err
+		}
+		peak := math.Inf(-1)
+		for _, t := range m.BlockTemps(temps) {
+			peak = math.Max(peak, t)
+		}
+		return peak, nil
+	}
+}
+
+// Result describes the best ordering found.
+type Result struct {
+	Best      *floorplan.Stack
+	Perm      []int
+	Score     float64
+	Evaluated int
+	// Baseline is the score of the identity ordering.
+	Baseline float64
+}
+
+// OptimizeOrder exhaustively searches all tier orderings (stacks have at
+// most a handful of tiers, so n! stays tiny) and returns the lowest-
+// scoring one.
+func OptimizeOrder(s *floorplan.Stack, obj Objective) (*Result, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("floorplanopt: objective is required")
+	}
+	n := len(s.Layers)
+	if n == 0 {
+		return nil, fmt.Errorf("floorplanopt: stack has no layers")
+	}
+	if n > 7 {
+		return nil, fmt.Errorf("floorplanopt: exhaustive search over %d layers is unreasonable", n)
+	}
+	res := &Result{Score: math.Inf(1)}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var recurse func(k int) error
+	recurse = func(k int) error {
+		if k == n {
+			cand, err := Reorder(s, perm)
+			if err != nil {
+				return err
+			}
+			score, err := obj(cand)
+			if err != nil {
+				return err
+			}
+			res.Evaluated++
+			if identity(perm) {
+				res.Baseline = score
+			}
+			if score < res.Score {
+				res.Score = score
+				res.Best = cand
+				res.Perm = append(res.Perm[:0], perm...)
+			}
+			return nil
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := recurse(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func identity(perm []int) bool {
+	for i, p := range perm {
+		if i != p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package floorplanopt
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+func TestReorder(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	swapped, err := Reorder(s, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swapped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The core tier (source layer 1) must now sit at layer 0.
+	if len(swapped.Layers[0].Cores()) != 8 {
+		t.Errorf("layer 0 has %d cores after swap, want 8", len(swapped.Layers[0].Cores()))
+	}
+	// Deep copy: mutating the new stack must not touch the source.
+	swapped.Layers[0].Blocks[0].Name = "mutated"
+	for _, b := range s.Blocks() {
+		if b.Name == "mutated" {
+			t.Fatal("Reorder aliased source blocks")
+		}
+	}
+	// Identity keeps the structure.
+	same, err := Reorder(s, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Layers[0].Cores()) != 0 {
+		t.Error("identity reorder changed layer content")
+	}
+}
+
+func TestReorderValidation(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	if _, err := Reorder(s, []int{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := Reorder(s, []int{0, 0}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := Reorder(s, []int{0, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func TestOptimizeOrderMovesCoresTowardSink(t *testing.T) {
+	// EXP-1 ships with the logic tier on the poorly-cooled far side (the
+	// conventional manufacturing orientation). The thermally-aware
+	// design-stage optimizer must discover that putting the core tier
+	// next to the sink is cooler.
+	s := floorplan.MustBuild(floorplan.EXP1)
+	res, err := OptimizeOrder(s, PeakSteadyTemp(thermal.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 2 {
+		t.Errorf("evaluated %d orderings of a 2-tier stack, want 2", res.Evaluated)
+	}
+	if res.Score >= res.Baseline {
+		t.Errorf("optimizer found nothing better: best %.2f vs baseline %.2f", res.Score, res.Baseline)
+	}
+	if len(res.Best.Layers[0].Cores()) != 8 {
+		t.Error("optimal ordering should put the core tier at the sink")
+	}
+}
+
+func TestOptimizeOrderEXP3(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP3)
+	res, err := OptimizeOrder(s, PeakSteadyTemp(thermal.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 24 {
+		t.Errorf("evaluated %d orderings of a 4-tier stack, want 24", res.Evaluated)
+	}
+	// Best ordering must not be hotter than the shipped one and must put
+	// a core tier at the sink.
+	if res.Score > res.Baseline {
+		t.Errorf("best %.2f worse than baseline %.2f", res.Score, res.Baseline)
+	}
+	if len(res.Best.Layers[0].Cores()) == 0 {
+		t.Error("optimal 4-tier ordering should have cores on the sink-side tier")
+	}
+}
+
+func TestOptimizeOrderValidation(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	if _, err := OptimizeOrder(s, nil); err == nil {
+		t.Error("nil objective accepted")
+	}
+}

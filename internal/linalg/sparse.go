@@ -1,0 +1,240 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SparseBuilder accumulates coefficients for a sparse square matrix in
+// coordinate form, merging duplicate (i, j) entries by addition. It is the
+// natural interface for assembling RC conductance matrices, where each
+// resistor stamps four entries.
+type SparseBuilder struct {
+	n       int
+	entries map[[2]int]float64
+}
+
+// NewSparseBuilder returns a builder for an n x n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n <= 0 {
+		panic(fmt.Sprintf("linalg: invalid sparse dimension %d", n))
+	}
+	return &SparseBuilder{n: n, entries: make(map[[2]int]float64)}
+}
+
+// Add accumulates v into entry (i, j).
+func (b *SparseBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("linalg: sparse index (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	b.entries[[2]int{i, j}] += v
+}
+
+// StampConductance stamps a conductance g between nodes i and j using the
+// standard nodal-analysis pattern: +g on both diagonals, -g off-diagonal.
+func (b *SparseBuilder) StampConductance(i, j int, g float64) {
+	b.Add(i, i, g)
+	b.Add(j, j, g)
+	b.Add(i, j, -g)
+	b.Add(j, i, -g)
+}
+
+// StampGroundConductance stamps a conductance g from node i to ground
+// (e.g. convection to the fixed ambient).
+func (b *SparseBuilder) StampGroundConductance(i int, g float64) {
+	b.Add(i, i, g)
+}
+
+// Build finalizes the builder into a CSR sparse matrix.
+func (b *SparseBuilder) Build() *Sparse {
+	type coord struct {
+		i, j int
+		v    float64
+	}
+	coords := make([]coord, 0, len(b.entries))
+	for ij, v := range b.entries {
+		if v == 0 {
+			continue
+		}
+		coords = append(coords, coord{ij[0], ij[1], v})
+	}
+	sort.Slice(coords, func(a, c int) bool {
+		if coords[a].i != coords[c].i {
+			return coords[a].i < coords[c].i
+		}
+		return coords[a].j < coords[c].j
+	})
+	s := &Sparse{
+		N:      b.n,
+		RowPtr: make([]int, b.n+1),
+		Col:    make([]int, len(coords)),
+		Val:    make([]float64, len(coords)),
+	}
+	for k, c := range coords {
+		s.Col[k] = c.j
+		s.Val[k] = c.v
+		s.RowPtr[c.i+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		s.RowPtr[i+1] += s.RowPtr[i]
+	}
+	return s
+}
+
+// Sparse is a square sparse matrix in compressed sparse row (CSR) form.
+type Sparse struct {
+	N      int
+	RowPtr []int // len N+1
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (s *Sparse) NNZ() int { return len(s.Val) }
+
+// MulVec computes dst = S * x. dst and x must not alias.
+func (s *Sparse) MulVec(dst, x []float64) {
+	if len(dst) != s.N || len(x) != s.N {
+		panic(fmt.Sprintf("linalg: sparse MulVec dimension mismatch n=%d dst=%d x=%d", s.N, len(dst), len(x)))
+	}
+	for i := 0; i < s.N; i++ {
+		sum := 0.0
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			sum += s.Val[k] * x[s.Col[k]]
+		}
+		dst[i] = sum
+	}
+}
+
+// Diag extracts the diagonal of s into a new slice.
+func (s *Sparse) Diag() []float64 {
+	d := make([]float64, s.N)
+	for i := 0; i < s.N; i++ {
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			if s.Col[k] == i {
+				d[i] = s.Val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// ToDense expands s into a dense matrix (for tests and small systems).
+func (s *Sparse) ToDense() *Matrix {
+	m := NewMatrix(s.N, s.N)
+	for i := 0; i < s.N; i++ {
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			m.Set(i, s.Col[k], s.Val[k])
+		}
+	}
+	return m
+}
+
+// CGOptions configures the conjugate-gradient solver.
+type CGOptions struct {
+	MaxIter int     // maximum iterations; 0 means 10*N
+	Tol     float64 // relative residual tolerance; 0 means 1e-10
+}
+
+// CGResult reports convergence information.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ||b-Ax|| / ||b||
+	Converged  bool
+}
+
+// SolveCG solves S*x = b for symmetric positive-definite S using Jacobi-
+// preconditioned conjugate gradients. x is used as the starting guess and
+// receives the solution.
+func (s *Sparse) SolveCG(x, b []float64, opts CGOptions) (CGResult, error) {
+	n := s.N
+	if len(x) != n || len(b) != n {
+		return CGResult{}, fmt.Errorf("linalg: SolveCG dimension mismatch n=%d x=%d b=%d", n, len(x), len(b))
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	normB := Norm2(b)
+	if normB == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Converged: true}, nil
+	}
+
+	diag := s.Diag()
+	for i, d := range diag {
+		if d <= 0 {
+			return CGResult{}, fmt.Errorf("linalg: SolveCG requires positive diagonal, got %g at row %d", d, i)
+		}
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	s.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	for i := range z {
+		z[i] = r[i] / diag[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := CGResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		s.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("linalg: SolveCG encountered non-SPD curvature %g at iteration %d", pap, iter)
+		}
+		alpha := rz / pap
+		AXPY(x, alpha, p)
+		AXPY(r, -alpha, ap)
+		res.Iterations = iter + 1
+		res.Residual = Norm2(r) / normB
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		for i := range z {
+			z[i] = r[i] / diag[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = Norm2(r) / normB
+	res.Converged = res.Residual < tol
+	if !res.Converged {
+		return res, fmt.Errorf("linalg: SolveCG failed to converge in %d iterations (residual %.3e)", maxIter, res.Residual)
+	}
+	return res, nil
+}
+
+// MaxOffDiagAsymmetry returns the largest |S[i][j]-S[j][i]| (for tests).
+func (s *Sparse) MaxOffDiagAsymmetry() float64 {
+	d := s.ToDense()
+	worst := 0.0
+	for i := 0; i < d.Rows; i++ {
+		for j := i + 1; j < d.Cols; j++ {
+			if a := math.Abs(d.At(i, j) - d.At(j, i)); a > worst {
+				worst = a
+			}
+		}
+	}
+	return worst
+}

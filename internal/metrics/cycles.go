@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CycleMeter measures temporal thermal cycles per Section V-D: per-core
+// ΔT (max - min) over a sliding window, averaged over all cores; the
+// metric is the percentage of samples where that average exceeds the
+// threshold (20 °C in Figure 6 — the JEDEC data in [13] shows failures
+// become 16x more frequent when ΔT grows from 10 to 20 °C).
+type CycleMeter struct {
+	DeltaThresholdC float64
+	WindowTicks     int
+
+	ring    [][]float64 // per core
+	pos     int
+	fill    int
+	samples int
+	above   int
+	sumAvg  float64
+}
+
+// NewCycleMeter builds a meter with the given sliding window length in
+// sampling ticks.
+func NewCycleMeter(numCores, windowTicks int, deltaThresholdC float64) (*CycleMeter, error) {
+	if numCores <= 0 || windowTicks <= 1 {
+		return nil, fmt.Errorf("metrics: cycle meter needs cores and window > 1, got %d cores window %d", numCores, windowTicks)
+	}
+	m := &CycleMeter{
+		DeltaThresholdC: deltaThresholdC,
+		WindowTicks:     windowTicks,
+		ring:            make([][]float64, numCores),
+	}
+	for c := range m.ring {
+		m.ring[c] = make([]float64, windowTicks)
+	}
+	return m, nil
+}
+
+// Record adds one sample of per-core temperatures.
+func (m *CycleMeter) Record(coreTempsC []float64) error {
+	if len(coreTempsC) != len(m.ring) {
+		return fmt.Errorf("metrics: cycle meter got %d temps for %d cores", len(coreTempsC), len(m.ring))
+	}
+	for c, t := range coreTempsC {
+		m.ring[c][m.pos] = t
+	}
+	m.pos = (m.pos + 1) % m.WindowTicks
+	if m.fill < m.WindowTicks {
+		m.fill++
+		return nil // wait for a full window before judging cycles
+	}
+	avg := 0.0
+	for c := range m.ring {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range m.ring[c] {
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+		avg += hi - lo
+	}
+	avg /= float64(len(m.ring))
+	m.samples++
+	m.sumAvg += avg
+	if avg > m.DeltaThresholdC {
+		m.above++
+	}
+	return nil
+}
+
+// Pct returns the percentage of full-window samples whose core-averaged
+// ΔT exceeds the threshold.
+func (m *CycleMeter) Pct() float64 {
+	if m.samples == 0 {
+		return 0
+	}
+	return 100 * float64(m.above) / float64(m.samples)
+}
+
+// MeanDeltaC returns the time-average of the core-averaged window ΔT.
+func (m *CycleMeter) MeanDeltaC() float64 {
+	if m.samples == 0 {
+		return 0
+	}
+	return m.sumAvg / float64(m.samples)
+}
+
+// Rainflow implements the standard 4-point rainflow counting algorithm
+// over a temperature history, producing full/half cycle amplitudes. It
+// extends the paper's sliding-window metric with the cycle census that
+// Coffin-Manson-style reliability models consume.
+type Rainflow struct {
+	turning []float64
+	last    float64
+	dir     int // -1 falling, +1 rising, 0 unknown
+	full    []float64
+	started bool
+}
+
+// NewRainflow returns an empty counter.
+func NewRainflow() *Rainflow { return &Rainflow{} }
+
+// Push adds one temperature sample.
+func (r *Rainflow) Push(t float64) {
+	if !r.started {
+		r.turning = append(r.turning, t)
+		r.last = t
+		r.started = true
+		return
+	}
+	switch {
+	case t > r.last:
+		if r.dir < 0 {
+			r.turning = append(r.turning, r.last)
+		}
+		r.dir = 1
+	case t < r.last:
+		if r.dir > 0 {
+			r.turning = append(r.turning, r.last)
+		}
+		r.dir = -1
+	}
+	r.last = t
+	r.collapse()
+}
+
+// collapse applies the 4-point rule over the committed turning points
+// plus the in-progress extremum: whenever the inner range of the last
+// four points is contained by both neighbours, a full cycle of the inner
+// amplitude is extracted and its two points removed.
+func (r *Rainflow) collapse() {
+	for len(r.turning) >= 3 {
+		n := len(r.turning)
+		x1, x2, x3 := r.turning[n-3], r.turning[n-2], r.turning[n-1]
+		x4 := r.last
+		inner := math.Abs(x3 - x2)
+		if inner <= math.Abs(x2-x1) && inner <= math.Abs(x4-x3) {
+			r.full = append(r.full, inner)
+			r.turning = r.turning[:n-2]
+		} else {
+			return
+		}
+	}
+}
+
+// FullCycles returns the amplitudes of closed cycles counted so far.
+func (r *Rainflow) FullCycles() []float64 { return append([]float64(nil), r.full...) }
+
+// ResidualHalfCycles returns the amplitudes of the unclosed residue
+// (treated as half cycles by convention).
+func (r *Rainflow) ResidualHalfCycles() []float64 {
+	pts := append([]float64(nil), r.turning...)
+	if r.started {
+		pts = append(pts, r.last)
+	}
+	var out []float64
+	for i := 1; i < len(pts); i++ {
+		if d := math.Abs(pts[i] - pts[i-1]); d > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CountAbove returns the number of full cycles with amplitude above the
+// threshold.
+func (r *Rainflow) CountAbove(thresholdC float64) int {
+	n := 0
+	for _, a := range r.full {
+		if a > thresholdC {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram bins the full-cycle amplitudes using the given bin edges
+// (ascending); result[i] counts amplitudes in [edges[i], edges[i+1]), and
+// the last bucket is open-ended.
+func (r *Rainflow) Histogram(edges []float64) []int {
+	out := make([]int, len(edges))
+	for _, a := range r.full {
+		i := sort.SearchFloat64s(edges, a)
+		if i > 0 {
+			i--
+		}
+		out[i]++
+	}
+	return out
+}

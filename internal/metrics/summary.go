@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+)
+
+// Collector bundles every meter the experiments need and feeds them from
+// one Record call per sampling interval.
+type Collector struct {
+	HotSpot  *HotSpotMeter
+	Gradient *GradientMeter
+	Vertical *VerticalGradientMeter
+	Cycle    *CycleMeter
+
+	stack   *floorplan.Stack
+	sumCore float64
+	nCore   int
+}
+
+// CollectorConfig sets the thresholds; zero values select the paper's
+// settings (85 °C hot spot, 15 °C gradient, 20 °C cycle amplitude over a
+// 10 s window at 100 ms ticks).
+type CollectorConfig struct {
+	HotSpotC    float64
+	GradientC   float64
+	CycleDeltaC float64
+	CycleWindow int
+}
+
+// NewCollector builds the bundle for a stack.
+func NewCollector(stack *floorplan.Stack, cfg CollectorConfig) (*Collector, error) {
+	if cfg.HotSpotC == 0 {
+		cfg.HotSpotC = 85
+	}
+	if cfg.GradientC == 0 {
+		cfg.GradientC = 15
+	}
+	if cfg.CycleDeltaC == 0 {
+		cfg.CycleDeltaC = 20
+	}
+	if cfg.CycleWindow == 0 {
+		cfg.CycleWindow = 100
+	}
+	cm, err := NewCycleMeter(stack.NumCores(), cfg.CycleWindow, cfg.CycleDeltaC)
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{
+		HotSpot:  NewHotSpotMeter(stack.NumCores(), cfg.HotSpotC),
+		Gradient: NewGradientMeter(stack, cfg.GradientC),
+		Vertical: NewVerticalGradientMeter(stack),
+		Cycle:    cm,
+		stack:    stack,
+	}, nil
+}
+
+// Record feeds one sampling interval.
+func (c *Collector) Record(blockTempsC, coreTempsC []float64) error {
+	if len(coreTempsC) != c.stack.NumCores() {
+		return fmt.Errorf("metrics: collector got %d core temps for %d cores", len(coreTempsC), c.stack.NumCores())
+	}
+	c.HotSpot.Record(coreTempsC)
+	if err := c.Gradient.Record(blockTempsC); err != nil {
+		return err
+	}
+	if err := c.Vertical.Record(blockTempsC); err != nil {
+		return err
+	}
+	if err := c.Cycle.Record(coreTempsC); err != nil {
+		return err
+	}
+	for _, t := range coreTempsC {
+		c.sumCore += t
+		c.nCore++
+	}
+	return nil
+}
+
+// Summary is the per-run metric set reported by the experiments.
+type Summary struct {
+	HotSpotPct      float64 // % core-time above 85 °C (Figs. 3-4)
+	GradientPct     float64 // % time worst per-layer gradient > 15 °C (Fig. 5)
+	CyclePct        float64 // % windows with avg ΔT > 20 °C (Fig. 6)
+	MaxTempC        float64
+	AvgCoreTempC    float64
+	MeanGradientC   float64
+	MaxGradientC    float64
+	MaxVerticalC    float64 // paper: limited to a few degrees
+	MeanVerticalC   float64
+	MeanCycleDeltaC float64
+	// PerCoreHotPct is the per-core hot-spot residency (CoreID order).
+	PerCoreHotPct []float64
+}
+
+// Summarize extracts the final numbers.
+func (c *Collector) Summarize() Summary {
+	avg := 0.0
+	if c.nCore > 0 {
+		avg = c.sumCore / float64(c.nCore)
+	}
+	return Summary{
+		HotSpotPct:      c.HotSpot.Pct(),
+		GradientPct:     c.Gradient.Pct(),
+		CyclePct:        c.Cycle.Pct(),
+		MaxTempC:        c.HotSpot.MaxTempC(),
+		AvgCoreTempC:    avg,
+		MeanGradientC:   c.Gradient.MeanMaxGradientC(),
+		MaxGradientC:    c.Gradient.MaxGradientC(),
+		MaxVerticalC:    c.Vertical.MaxC(),
+		MeanVerticalC:   c.Vertical.MeanMaxC(),
+		MeanCycleDeltaC: c.Cycle.MeanDeltaC(),
+		PerCoreHotPct:   c.HotSpot.PerCorePct(),
+	}
+}
+
+// NormalizedPerformance returns base/policy mean response time — 1.0 for
+// the baseline, below 1 for slower policies — matching the right axis of
+// Figure 3.
+func NormalizedPerformance(baseMeanResponseS, policyMeanResponseS float64) float64 {
+	if policyMeanResponseS <= 0 {
+		return 0
+	}
+	return baseMeanResponseS / policyMeanResponseS
+}
+
+// DelayPct returns the average completion delay relative to the baseline
+// in percent (Section V-A's performance cost measure).
+func DelayPct(baseMeanResponseS, policyMeanResponseS float64) float64 {
+	if baseMeanResponseS <= 0 {
+		return 0
+	}
+	return 100 * (policyMeanResponseS - baseMeanResponseS) / baseMeanResponseS
+}

@@ -1,0 +1,193 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// DVFSTT is DVFS with Temperature Trigger (Section III-A): when a core's
+// temperature exceeds the threshold, its V/f setting is lowered one step
+// per scheduling interval; when it is below, the setting is raised one
+// step per interval. Every core scales independently.
+type DVFSTT struct {
+	alloc *Default
+}
+
+// NewDVFSTT returns the temperature-triggered DVFS policy.
+func NewDVFSTT() *DVFSTT { return &DVFSTT{alloc: NewDefault()} }
+
+// Name implements Policy.
+func (p *DVFSTT) Name() string { return "DVFS_TT" }
+
+// AssignCore implements Policy.
+func (p *DVFSTT) AssignCore(v *View, job workload.Job) int { return p.alloc.AssignCore(v, job) }
+
+// Tick implements Policy.
+func (p *DVFSTT) Tick(v *View) TickDecision {
+	if err := validateView(v); err != nil {
+		return TickDecision{}
+	}
+	d := p.alloc.Tick(v)
+	lv := make([]power.VfLevel, v.NumCores())
+	for c := range lv {
+		cur := v.Levels[c]
+		if v.TempsC[c] > v.ThresholdC {
+			lv[c] = v.DVFS.Clamp(cur + 1)
+		} else {
+			lv[c] = v.DVFS.Clamp(cur - 1)
+		}
+	}
+	d.Levels = lv
+	return d
+}
+
+// DVFSUtil is utilization-based DVFS (Section III-A): it observes the
+// core workload in the last interval and, if the core is under-utilized,
+// selects the lowest V/f setting that still covers the observed demand.
+// It is performance-oriented and thermally oblivious.
+type DVFSUtil struct {
+	alloc *Default
+	// Headroom inflates observed demand before choosing a level so that
+	// small load increases do not immediately saturate the core
+	// (default 1.1).
+	Headroom float64
+}
+
+// NewDVFSUtil returns the utilization-based DVFS policy.
+func NewDVFSUtil() *DVFSUtil { return &DVFSUtil{alloc: NewDefault(), Headroom: 1.1} }
+
+// Name implements Policy.
+func (p *DVFSUtil) Name() string { return "DVFS_Util" }
+
+// AssignCore implements Policy.
+func (p *DVFSUtil) AssignCore(v *View, job workload.Job) int { return p.alloc.AssignCore(v, job) }
+
+// Tick implements Policy.
+func (p *DVFSUtil) Tick(v *View) TickDecision {
+	if err := validateView(v); err != nil {
+		return TickDecision{}
+	}
+	d := p.alloc.Tick(v)
+	lv := make([]power.VfLevel, v.NumCores())
+	for c := range lv {
+		if v.QueueLens[c] > 1 {
+			// Backlogged: full speed regardless of last interval.
+			lv[c] = 0
+			continue
+		}
+		// Demand normalized to the default frequency.
+		demand := v.Utils[c] * v.DVFS.FreqScale(v.Levels[c]) * p.Headroom
+		lv[c] = v.DVFS.LowestLevelFor(math.Min(demand, 1))
+	}
+	d.Levels = lv
+	return d
+}
+
+// DVFSFLP is DVFS with floorplan considerations (Section III-A): cores
+// whose location makes them more susceptible to hot spots — laterally
+// central in 2D, and on layers far from the heat sink in 3D — statically
+// receive lower V/f settings.
+type DVFSFLP struct {
+	alloc  *Default
+	levels []power.VfLevel // static per-core assignment, computed lazily
+}
+
+// NewDVFSFLP returns the floorplan-aware DVFS policy.
+func NewDVFSFLP() *DVFSFLP { return &DVFSFLP{alloc: NewDefault()} }
+
+// Name implements Policy.
+func (p *DVFSFLP) Name() string { return "DVFS_FLP" }
+
+// AssignCore implements Policy.
+func (p *DVFSFLP) AssignCore(v *View, job workload.Job) int { return p.alloc.AssignCore(v, job) }
+
+// Tick implements Policy.
+func (p *DVFSFLP) Tick(v *View) TickDecision {
+	if err := validateView(v); err != nil {
+		return TickDecision{}
+	}
+	d := p.alloc.Tick(v)
+	if p.levels == nil || len(p.levels) != v.NumCores() {
+		p.levels = flpLevels(v)
+	}
+	d.Levels = append([]power.VfLevel(nil), p.levels...)
+	return d
+}
+
+// flpLevels ranks cores by hot-spot susceptibility and assigns the
+// slowest setting to the most susceptible third, the middle setting to
+// the next third, and full speed to the rest.
+func flpLevels(v *View) []power.VfLevel {
+	n := v.NumCores()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return v.Stack.HotSusceptibility(order[a]) > v.Stack.HotSusceptibility(order[b])
+	})
+	lv := make([]power.VfLevel, n)
+	slow := v.DVFS.Clamp(power.VfLevel(v.DVFS.Levels() - 1))
+	mid := v.DVFS.Clamp(1)
+	for rank, c := range order {
+		switch {
+		case rank < n/3:
+			lv[c] = slow
+		case rank < 2*n/3:
+			lv[c] = mid
+		default:
+			lv[c] = 0
+		}
+	}
+	return lv
+}
+
+// Migr is the thermal migration policy (Section III-B): when a core
+// exceeds the threshold, its running job moves to the coolest core that
+// has not already received a migrated job this tick; if the coolest core
+// is busy, the jobs swap. It extends core-hopping/activity migration
+// [11], [10].
+type Migr struct {
+	alloc *Default
+}
+
+// NewMigr returns the migration policy.
+func NewMigr() *Migr { return &Migr{alloc: NewDefault()} }
+
+// Name implements Policy.
+func (p *Migr) Name() string { return "Migr" }
+
+// AssignCore implements Policy.
+func (p *Migr) AssignCore(v *View, job workload.Job) int { return p.alloc.AssignCore(v, job) }
+
+// Tick implements Policy.
+func (p *Migr) Tick(v *View) TickDecision {
+	if err := validateView(v); err != nil {
+		return TickDecision{}
+	}
+	var d TickDecision
+	// Hot cores, hottest first.
+	var hot []int
+	for c := 0; c < v.NumCores(); c++ {
+		if v.TempsC[c] > v.ThresholdC && v.QueueLens[c] > 0 {
+			hot = append(hot, c)
+		}
+	}
+	sort.SliceStable(hot, func(a, b int) bool { return v.TempsC[hot[a]] > v.TempsC[hot[b]] })
+	used := make(map[int]bool, len(hot))
+	for _, h := range hot {
+		used[h] = true
+	}
+	for _, h := range hot {
+		target := coolestCore(v.TempsC, func(c int) bool { return !used[c] })
+		if target < 0 || v.TempsC[target] >= v.TempsC[h] {
+			break
+		}
+		used[target] = true
+		d.Migrations = append(d.Migrations, Migration{From: h, To: target})
+	}
+	return d
+}

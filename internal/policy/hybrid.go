@@ -1,0 +1,117 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// Hybrid combines a job allocation policy (which owns AssignCore and may
+// order migrations) with a DVFS policy (which owns the V/f levels and
+// gating). Section III-C combines the best allocator, Adapt3D, with each
+// of the DVFS policies.
+type Hybrid struct {
+	Alloc Policy
+	DVFS  Policy
+	name  string
+}
+
+// NewHybrid composes two policies. The allocation policy's migrations
+// and the DVFS policy's level/gate decisions are both applied; the
+// allocation policy wins job placement.
+func NewHybrid(alloc, dvfs Policy) (*Hybrid, error) {
+	if alloc == nil || dvfs == nil {
+		return nil, fmt.Errorf("policy: hybrid needs both an allocator and a DVFS policy")
+	}
+	return &Hybrid{
+		Alloc: alloc,
+		DVFS:  dvfs,
+		name:  alloc.Name() + "&" + dvfs.Name(),
+	}, nil
+}
+
+// Name implements Policy.
+func (h *Hybrid) Name() string { return h.name }
+
+// AssignCore implements Policy.
+func (h *Hybrid) AssignCore(v *View, job workload.Job) int { return h.Alloc.AssignCore(v, job) }
+
+// Tick implements Policy: merge both decisions.
+func (h *Hybrid) Tick(v *View) TickDecision {
+	da := h.Alloc.Tick(v)
+	dd := h.DVFS.Tick(v)
+	out := TickDecision{
+		Levels:     dd.Levels,
+		Gate:       dd.Gate,
+		Migrations: append(da.Migrations, dd.Migrations...),
+	}
+	return out
+}
+
+// DPM is the dynamic power management layer of Section IV-B: a fixed
+// timeout policy that puts a core into the sleep state once it has been
+// idle longer than the timeout. It composes with any Policy (the
+// "with DPM" rows of Figures 4-6). Waking is handled by the simulator
+// when work is assigned to a sleeping core.
+type DPM struct {
+	// TimeoutS is the idle time after which a core sleeps.
+	TimeoutS float64
+}
+
+// DefaultDPM uses a 300 ms timeout (three scheduling intervals), a
+// typical fixed-timeout setting for server cores of this class.
+func DefaultDPM() DPM { return DPM{TimeoutS: 0.3} }
+
+// ShouldSleep reports whether a core idle for idleS seconds should enter
+// the sleep state.
+func (d DPM) ShouldSleep(idleS float64) bool {
+	return d.TimeoutS > 0 && idleS >= d.TimeoutS
+}
+
+// Registry builds the paper's full policy list for a machine with
+// numCores cores: Default, CGate, DVFS_TT, DVFS_Util, DVFS_FLP, Migr,
+// AdaptRand, plus (via internal/core) Adapt3D and its hybrids, appended
+// by the caller. The seed feeds the stochastic allocators.
+func Registry(numCores int, seed int64) ([]Policy, error) {
+	ar, err := NewAdaptRand(numCores, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []Policy{
+		NewDefault(),
+		NewCGate(),
+		NewDVFSTT(),
+		NewDVFSUtil(),
+		NewDVFSFLP(),
+		NewMigr(),
+		ar,
+	}, nil
+}
+
+// StaticLevels is a helper used in tests: a policy holding every core at
+// a fixed V/f level with Default allocation.
+type StaticLevels struct {
+	Level power.VfLevel
+	alloc *Default
+}
+
+// NewStaticLevels pins all cores at the given level.
+func NewStaticLevels(l power.VfLevel) *StaticLevels {
+	return &StaticLevels{Level: l, alloc: NewDefault()}
+}
+
+// Name implements Policy.
+func (s *StaticLevels) Name() string { return fmt.Sprintf("Static@%d", int(s.Level)) }
+
+// AssignCore implements Policy.
+func (s *StaticLevels) AssignCore(v *View, job workload.Job) int { return s.alloc.AssignCore(v, job) }
+
+// Tick implements Policy.
+func (s *StaticLevels) Tick(v *View) TickDecision {
+	lv := make([]power.VfLevel, v.NumCores())
+	for i := range lv {
+		lv[i] = s.Level
+	}
+	return TickDecision{Levels: lv}
+}

@@ -1,0 +1,114 @@
+// Package policy defines the dynamic thermal management policy interface
+// and implements every baseline the paper evaluates (Section III):
+// clock gating, three DVFS variants, migration, the Adaptive-Random
+// allocator of [7], hybrid combinations, and the DPM fixed-timeout power
+// manager. The paper's own contribution, Adapt3D, lives in
+// internal/core and plugs into the same interface.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// View is the per-tick observation a policy receives: exactly the signals
+// the paper's runtime has available (temperature sensors, utilization
+// from the OS, queue state) — no offline application profiling, no IPC
+// counters.
+type View struct {
+	NowS  float64
+	TickS float64
+
+	// Per-core signals, indexed by CoreID.
+	TempsC    []float64 // sensor readings
+	Utils     []float64 // busy fraction of the last interval
+	QueueLens []int
+	States    []power.CoreState
+	Levels    []power.VfLevel
+
+	Stack *floorplan.Stack
+	DVFS  power.DVFSTable
+
+	// ThresholdC is the thermal emergency threshold (85 °C in the paper);
+	// TprefC the preferred operating temperature (80 °C).
+	ThresholdC float64
+	TprefC     float64
+}
+
+// NumCores returns the number of cores in the view.
+func (v *View) NumCores() int { return len(v.TempsC) }
+
+// Migration orders one job move. Tail moves take the most recently
+// queued job (load balancing); head moves take the running job and swap
+// with the destination's running job if busy (thermal migration).
+type Migration struct {
+	From, To int
+	Tail     bool
+}
+
+// TickDecision is what a policy wants changed this interval. Nil slices
+// mean "no change".
+type TickDecision struct {
+	// Levels is the desired V/f level per core.
+	Levels []power.VfLevel
+	// Gate is the desired clock-gate state per core.
+	Gate []bool
+	// Migrations are applied in order.
+	Migrations []Migration
+}
+
+// Policy decides job placement and per-tick actuation.
+type Policy interface {
+	// Name identifies the policy in reports ("Default", "Adapt3D", ...).
+	Name() string
+	// AssignCore picks the dispatch queue for an arriving job.
+	AssignCore(v *View, job workload.Job) int
+	// Tick makes per-interval decisions from the current observation.
+	Tick(v *View) TickDecision
+}
+
+// leastLoaded returns the core with the shortest queue; ties break toward
+// the preferred core if it is tied, else the lowest index.
+func leastLoaded(queueLens []int, preferred int) int {
+	best := 0
+	for c := 1; c < len(queueLens); c++ {
+		if queueLens[c] < queueLens[best] {
+			best = c
+		}
+	}
+	if preferred >= 0 && preferred < len(queueLens) && queueLens[preferred] == queueLens[best] {
+		return preferred
+	}
+	return best
+}
+
+// coolestCore returns the coolest core for which eligible returns true,
+// or -1 when none qualifies.
+func coolestCore(tempsC []float64, eligible func(int) bool) int {
+	best := -1
+	for c := range tempsC {
+		if eligible != nil && !eligible(c) {
+			continue
+		}
+		if best < 0 || tempsC[c] < tempsC[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// validateView catches wiring mistakes early in integration code.
+func validateView(v *View) error {
+	n := len(v.TempsC)
+	if n == 0 {
+		return fmt.Errorf("policy: view has no cores")
+	}
+	if len(v.Utils) != n || len(v.QueueLens) != n || len(v.States) != n || len(v.Levels) != n {
+		return fmt.Errorf("policy: inconsistent view vector lengths (%d temps, %d utils, %d queues, %d states, %d levels)",
+			n, len(v.Utils), len(v.QueueLens), len(v.States), len(v.Levels))
+	}
+	return nil
+}

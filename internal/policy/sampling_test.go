@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"testing"
+)
+
+// engWith returns an engine whose raw state is forced to the given
+// values (via threshold-zeroing and saturation updates).
+func engWith(t *testing.T, raw []float64) *ProbEngine {
+	t.Helper()
+	e, err := NewProbEngine(len(raw), 2, 1, func(int, float64) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(e.raw, raw)
+	return e
+}
+
+func TestSampleLeastLoadedStrictWhenCoolCoresExist(t *testing.T) {
+	// Cores 0,1 empty and cool; core 2 busy but cool. Placement must use
+	// only the empty set even though core 2 has all the probability.
+	e := engWith(t, []float64{0.1, 0.1, 1.0})
+	queues := []int{0, 0, 1}
+	temps := []float64{60, 60, 60}
+	for i := 0; i < 50; i++ {
+		if c := e.SampleLeastLoaded(queues, temps, 80); c == 2 {
+			t.Fatal("placed on a busier core while cool empty cores exist")
+		}
+	}
+}
+
+func TestSampleLeastLoadedTemperatureGatedSlack(t *testing.T) {
+	// All empty cores are above Tpref; a cool core sits one queue level
+	// deeper. The gate should open the deeper core for placement.
+	e := engWith(t, []float64{0.5, 0.5, 0.5})
+	queues := []int{0, 0, 1}
+	temps := []float64{84, 86, 60} // empty cores warm, busy core cool
+	sawDeeper := false
+	for i := 0; i < 100; i++ {
+		if c := e.SampleLeastLoaded(queues, temps, 80); c == 2 {
+			sawDeeper = true
+		}
+	}
+	if !sawDeeper {
+		t.Error("temperature gate never admitted the cool, slightly busier core")
+	}
+}
+
+func TestSampleLeastLoadedGateStaysClosedWhenDeeperIsWarm(t *testing.T) {
+	e := engWith(t, []float64{0.5, 0.5, 0.5})
+	queues := []int{0, 0, 1}
+	temps := []float64{84, 86, 90} // everything warm: no point sharing
+	for i := 0; i < 50; i++ {
+		if c := e.SampleLeastLoaded(queues, temps, 80); c == 2 {
+			t.Fatal("gate admitted a warm deeper core")
+		}
+	}
+}
+
+func TestSampleLeastLoadedZeroMassFallback(t *testing.T) {
+	// Every eligible core has zero probability: uniform fallback must
+	// still return an eligible (min-queue) core.
+	e := engWith(t, []float64{0, 0, 1})
+	queues := []int{0, 0, 2}
+	temps := []float64{60, 60, 60}
+	counts := make([]int, 3)
+	for i := 0; i < 200; i++ {
+		counts[e.SampleLeastLoaded(queues, temps, 80)]++
+	}
+	if counts[2] != 0 {
+		t.Error("fallback selected an ineligible core")
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("fallback not roughly uniform: %v", counts)
+	}
+}
+
+func TestSampleLeastLoadedMismatchedLengthsFallBack(t *testing.T) {
+	e := engWith(t, []float64{1, 1})
+	// Wrong queue vector length: falls back to plain Sample (must not
+	// panic and must return a valid index).
+	if c := e.SampleLeastLoaded([]int{0}, nil, 80); c < 0 || c > 1 {
+		t.Errorf("fallback returned invalid core %d", c)
+	}
+	// Missing temperatures: strict min-queue behaviour.
+	if c := e.SampleLeastLoaded([]int{0, 1}, nil, 80); c != 0 {
+		t.Errorf("without temps, only the min-queue core is eligible, got %d", c)
+	}
+}
+
+func TestProbabilitiesNormalized(t *testing.T) {
+	e := engWith(t, []float64{0.2, 0.6, 0.2})
+	p := e.Probabilities()
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if p[1] < p[0] {
+		t.Error("normalization changed the ordering")
+	}
+}
+
+func TestSampleRespectsDistribution(t *testing.T) {
+	e := engWith(t, []float64{0, 0, 1})
+	for i := 0; i < 100; i++ {
+		if c := e.Sample(); c != 2 {
+			t.Fatalf("sampled core %d with zero mass", c)
+		}
+	}
+}
+
+func TestSampleAllZeroUniform(t *testing.T) {
+	e := engWith(t, []float64{0, 0, 0, 0})
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		c := e.Sample()
+		if c < 0 || c > 3 {
+			t.Fatalf("invalid core %d", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("zero-mass sampling not spread out: %v", seen)
+	}
+}

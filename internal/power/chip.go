@@ -1,0 +1,213 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// CacheParams models one L2 bank: the paper uses 1.28 W per bank from
+// CACTI 4.0. A fraction of that is standby (clocking, decoders); the
+// rest scales with access activity.
+type CacheParams struct {
+	MaxW     float64
+	IdleFrac float64 // fraction of MaxW drawn at zero activity
+}
+
+// DefaultCacheParams returns the CACTI-derived values.
+func DefaultCacheParams() CacheParams { return CacheParams{MaxW: 1.28, IdleFrac: 0.3} }
+
+// Power returns the bank's power for an activity factor in [0,1].
+func (c CacheParams) Power(activity float64) float64 {
+	a := math.Min(math.Max(activity, 0), 1)
+	return c.MaxW * (c.IdleFrac + (1-c.IdleFrac)*a)
+}
+
+// CrossbarParams models the core-to-cache crossbar. The paper scales the
+// crossbar's average power by the number of active cores and the memory
+// access statistics.
+type CrossbarParams struct {
+	MaxW     float64 // at all cores active and peak memory traffic
+	IdleFrac float64
+}
+
+// DefaultCrossbarParams sizes the CCX per the published T1 unit power
+// breakdown (a few percent of chip power at full traffic).
+func DefaultCrossbarParams() CrossbarParams { return CrossbarParams{MaxW: 2.0, IdleFrac: 0.15} }
+
+// Power returns the crossbar power given the fraction of cores active
+// and a normalized memory traffic factor, both in [0,1].
+func (c CrossbarParams) Power(activeFrac, memTraffic float64) float64 {
+	a := math.Min(math.Max(activeFrac, 0), 1)
+	mt := math.Min(math.Max(memTraffic, 0), 1)
+	activity := 0.5*a + 0.5*mt
+	return c.MaxW * (c.IdleFrac + (1-c.IdleFrac)*activity)
+}
+
+// Model bundles every power component for a chip.
+type Model struct {
+	DVFS  DVFSTable
+	Core  CoreParams
+	Cache CacheParams
+	Xbar  CrossbarParams
+	Leak  LeakageModel
+
+	// OtherW is the switching power of each core-layer "other" block
+	// (FPU, I/O pads, buffers); MemOtherW of each memory-layer filler
+	// block (tags, test structures).
+	OtherW    float64
+	MemOtherW float64
+
+	// LeakageEnabled folds the temperature-dependent leakage loop into
+	// block power. Disable for experiments isolating dynamic power.
+	LeakageEnabled bool
+}
+
+// DefaultModel returns the paper's full power model.
+func DefaultModel() Model {
+	return Model{
+		DVFS:           DefaultDVFS(),
+		Core:           DefaultCoreParams(),
+		Cache:          DefaultCacheParams(),
+		Xbar:           DefaultCrossbarParams(),
+		Leak:           DefaultLeakage(),
+		OtherW:         0.6,
+		MemOtherW:      0.3,
+		LeakageEnabled: true,
+	}
+}
+
+// Validate checks all components.
+func (m Model) Validate() error {
+	if err := m.DVFS.Validate(); err != nil {
+		return err
+	}
+	if err := m.Leak.Validate(); err != nil {
+		return err
+	}
+	if m.Core.ActiveW <= 0 || m.Core.IdleW < 0 || m.Core.SleepW < 0 {
+		return fmt.Errorf("power: core params out of range: %+v", m.Core)
+	}
+	if m.Core.IdleW > m.Core.ActiveW {
+		return fmt.Errorf("power: idle power %g exceeds active power %g", m.Core.IdleW, m.Core.ActiveW)
+	}
+	if m.OtherW < 0 || m.MemOtherW < 0 {
+		return fmt.Errorf("power: other-block powers must be >= 0")
+	}
+	return nil
+}
+
+// CoreInput is the per-core operating point for one interval.
+type CoreInput struct {
+	State CoreState
+	Level VfLevel
+	Util  float64 // fraction of the interval spent executing
+	// MemActivity in [0,1] summarizes the core's cache/memory traffic
+	// (derived from the workload's L2 miss statistics).
+	MemActivity float64
+}
+
+// ChipInput is everything Compute needs for one interval.
+type ChipInput struct {
+	Cores []CoreInput
+	// BlockTempsC are the previous interval's block temperatures used for
+	// the leakage feedback loop (one-tick lag); nil means ambient-cold.
+	BlockTempsC []float64
+	AmbientC    float64
+}
+
+// Compute returns the per-block power vector (W) for the stack, in stack
+// block order. The L2 activity of a bank follows the average memory
+// activity of all cores (the T1 interleaves L2 banks across cores), and
+// the crossbar follows active-core count and total memory traffic, as
+// described in Section IV-B.
+func (m Model) Compute(stack *floorplan.Stack, in ChipInput) ([]float64, error) {
+	if len(in.Cores) != stack.NumCores() {
+		return nil, fmt.Errorf("power: got %d core inputs for %d cores", len(in.Cores), stack.NumCores())
+	}
+	if in.BlockTempsC != nil && len(in.BlockTempsC) != stack.NumBlocks() {
+		return nil, fmt.Errorf("power: got %d block temperatures for %d blocks", len(in.BlockTempsC), stack.NumBlocks())
+	}
+	out := make([]float64, stack.NumBlocks())
+
+	// Chip-wide activity summaries.
+	activeCores := 0
+	memTraffic := 0.0
+	for _, c := range in.Cores {
+		if c.State == StateActive {
+			activeCores++
+		}
+		memTraffic += c.MemActivity * c.Util
+	}
+	activeFrac := float64(activeCores) / float64(len(in.Cores))
+	memTraffic = math.Min(memTraffic/float64(len(in.Cores))*2, 1) // saturating
+
+	for bi, b := range stack.Blocks() {
+		var p float64
+		var volt float64 = 1
+		switch b.Kind {
+		case floorplan.KindCore:
+			ci := in.Cores[b.CoreID]
+			p = m.Core.Power(m.DVFS, ci.State, ci.Level, ci.Util)
+			volt = m.DVFS.VoltScale(ci.Level)
+			if ci.State == StateSleep {
+				volt = 0.3 // power-gated rail retains only a keeper voltage
+			}
+		case floorplan.KindL2:
+			p = m.Cache.Power(memTraffic)
+		case floorplan.KindCrossbar:
+			p = m.Xbar.Power(activeFrac, memTraffic)
+		case floorplan.KindOther:
+			if onMemoryLayer(stack, b) {
+				p = m.MemOtherW
+			} else {
+				p = m.OtherW
+			}
+		}
+		if m.LeakageEnabled {
+			temp := in.AmbientC
+			if in.BlockTempsC != nil {
+				temp = in.BlockTempsC[bi]
+			}
+			p += m.Leak.BlockLeakage(b.Area(), temp, volt) * leakDensityFactor(b.Kind)
+		}
+		out[bi] = p
+	}
+	return out, nil
+}
+
+// leakDensityFactor scales the logic-calibrated base leakage density
+// (0.5 W/mm² at 383 K, [5]) by block type: SRAM arrays leak considerably
+// less per area than high-performance logic at 90 nm, and the mixed
+// "other" regions sit in between. This is the per-structural-area
+// differentiation Section IV-B describes.
+func leakDensityFactor(k floorplan.BlockKind) float64 {
+	switch k {
+	case floorplan.KindCore:
+		// Section IV-B computes leakage for the processing cores at the
+		// full logic density.
+		return 1.0
+	case floorplan.KindL2:
+		// SRAM arrays leak far less per area than hot logic.
+		return 0.15
+	case floorplan.KindCrossbar:
+		return 0.3
+	default: // mixed "other" regions
+		return 0.25
+	}
+}
+
+// onMemoryLayer reports whether the block sits on a layer with no cores.
+func onMemoryLayer(stack *floorplan.Stack, b *floorplan.Block) bool {
+	return len(stack.Layers[b.Layer].Cores()) == 0
+}
+
+// Total sums a block power vector.
+func Total(p []float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,337 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+)
+
+func TestDefaultDVFSMatchesPaper(t *testing.T) {
+	d := DefaultDVFS()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Levels() != 3 {
+		t.Fatalf("paper assumes 3 V/f levels, got %d", d.Levels())
+	}
+	want := []float64{1.0, 0.95, 0.85}
+	for i, f := range want {
+		if d.FreqScale(VfLevel(i)) != f {
+			t.Errorf("level %d freq = %g, want %g", i, d.FreqScale(VfLevel(i)), f)
+		}
+	}
+}
+
+func TestDVFSPowerScaleIsFV2(t *testing.T) {
+	d := DefaultDVFS()
+	for l := 0; l < d.Levels(); l++ {
+		want := d.Freq[l] * d.Volt[l] * d.Volt[l]
+		if got := d.PowerScale(VfLevel(l)); math.Abs(got-want) > 1e-12 {
+			t.Errorf("level %d power scale = %g, want f·V² = %g", l, got, want)
+		}
+	}
+	if d.PowerScale(0) != 1 {
+		t.Error("default level must have unit power scale")
+	}
+}
+
+func TestDVFSClamp(t *testing.T) {
+	d := DefaultDVFS()
+	if d.Clamp(-3) != 0 {
+		t.Error("negative level should clamp to 0")
+	}
+	if d.Clamp(99) != VfLevel(d.Levels()-1) {
+		t.Error("oversized level should clamp to slowest")
+	}
+}
+
+func TestDVFSLowestLevelFor(t *testing.T) {
+	d := DefaultDVFS()
+	cases := []struct {
+		util float64
+		want VfLevel
+	}{
+		{0.99, 0}, // needs full speed
+		{0.95, 1}, // exactly the middle setting
+		{0.90, 1}, // middle covers 0.90
+		{0.80, 2}, // slowest covers 0.80
+		{0.10, 2}, // deeply idle: slowest
+		{-1, 2},   // clamped
+		{2, 0},    // clamped to full speed
+	}
+	for _, c := range cases {
+		if got := d.LowestLevelFor(c.util); got != c.want {
+			t.Errorf("LowestLevelFor(%g) = %d, want %d", c.util, got, c.want)
+		}
+	}
+}
+
+func TestDVFSValidate(t *testing.T) {
+	bad := DVFSTable{Freq: []float64{1.0, 1.0}, Volt: []float64{1, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-descending frequencies accepted")
+	}
+	bad = DVFSTable{Freq: []float64{1.0}, Volt: []float64{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	bad = DVFSTable{Freq: []float64{1.5}, Volt: []float64{1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("frequency above 1 accepted")
+	}
+}
+
+func TestCorePowerStates(t *testing.T) {
+	c := DefaultCoreParams()
+	d := DefaultDVFS()
+	if got := c.Power(d, StateActive, 0, 1); got != 3.0 {
+		t.Errorf("fully active core = %g W, paper says 3 W", got)
+	}
+	if got := c.Power(d, StateSleep, 0, 1); got != 0.02 {
+		t.Errorf("sleeping core = %g W, paper says 0.02 W", got)
+	}
+	if got := c.Power(d, StateGated, 0, 1); got != 0 {
+		t.Errorf("gated core switching power = %g W, want 0", got)
+	}
+	idle := c.Power(d, StateIdle, 0, 0)
+	act := c.Power(d, StateActive, 0, 0.5)
+	if !(idle < act && act < 3.0) {
+		t.Errorf("expected idle (%g) < half-util (%g) < 3", idle, act)
+	}
+}
+
+func TestCorePowerDVFSReduces(t *testing.T) {
+	c := DefaultCoreParams()
+	d := DefaultDVFS()
+	p0 := c.Power(d, StateActive, 0, 1)
+	p1 := c.Power(d, StateActive, 1, 1)
+	p2 := c.Power(d, StateActive, 2, 1)
+	if !(p2 < p1 && p1 < p0) {
+		t.Errorf("power must decrease with level: %g, %g, %g", p0, p1, p2)
+	}
+	if math.Abs(p2/p0-0.85*0.85*0.85) > 1e-9 {
+		t.Errorf("slowest level power ratio %g, want f·V² = %g", p2/p0, 0.85*0.85*0.85)
+	}
+}
+
+func TestLeakageCalibration(t *testing.T) {
+	l := DefaultLeakage()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At the 383 K reference the uncapped density must be exactly
+	// 0.5 W/mm² ([5]); the default model saturates at the 90 °C value.
+	uncapped := l
+	uncapped.GCap = 1.0
+	if got := uncapped.BlockLeakage(1, 383-273.15, 1); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("uncapped leakage density at 383 K = %g, want 0.5", got)
+	}
+	if got := l.TempFactor(120); math.Abs(got-l.GCap) > 1e-9 {
+		t.Errorf("capped TempFactor(120 °C) = %g, want saturation value %g", got, l.GCap)
+	}
+	// Normalized shape of [25]: ~25% of the reference value at 85 °C and
+	// ~10% at 70 °C (exponential subthreshold dependence).
+	if g := l.TempFactor(85); math.Abs(g-0.25) > 0.02 {
+		t.Errorf("TempFactor(85 °C) = %g, want ~0.25", g)
+	}
+	if g := l.TempFactor(70); math.Abs(g-0.10) > 0.02 {
+		t.Errorf("TempFactor(70 °C) = %g, want ~0.10", g)
+	}
+}
+
+func TestLeakageMonotoneInTemperature(t *testing.T) {
+	l := DefaultLeakage()
+	f := func(a, b uint8) bool {
+		t1 := 20 + float64(a%90)
+		t2 := 20 + float64(b%90)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return l.TempFactor(t1) <= l.TempFactor(t2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeakageVoltageQuadratic(t *testing.T) {
+	l := DefaultLeakage()
+	full := l.BlockLeakage(10, 70, 1.0)
+	reduced := l.BlockLeakage(10, 70, 0.85)
+	if math.Abs(reduced/full-0.85*0.85) > 1e-9 {
+		t.Errorf("voltage scaling ratio %g, want V² = %g", reduced/full, 0.85*0.85)
+	}
+	if l.BlockLeakage(0, 70, 1) != 0 {
+		t.Error("zero-area block should leak nothing")
+	}
+}
+
+func TestLeakageFloor(t *testing.T) {
+	l := DefaultLeakage()
+	if g := l.TempFactor(-200); g < 0.02-1e-12 {
+		t.Errorf("TempFactor floor violated: %g", g)
+	}
+}
+
+func TestCachePower(t *testing.T) {
+	c := DefaultCacheParams()
+	if got := c.Power(1); math.Abs(got-1.28) > 1e-12 {
+		t.Errorf("fully active L2 = %g W, paper says 1.28 W", got)
+	}
+	if c.Power(0) >= c.Power(1) {
+		t.Error("idle cache should draw less than active")
+	}
+	if c.Power(-1) != c.Power(0) || c.Power(2) != c.Power(1) {
+		t.Error("activity should clamp to [0,1]")
+	}
+}
+
+func TestCrossbarPowerScalesWithActivity(t *testing.T) {
+	x := DefaultCrossbarParams()
+	idle := x.Power(0, 0)
+	busy := x.Power(1, 1)
+	half := x.Power(0.5, 0.5)
+	if !(idle < half && half < busy) {
+		t.Errorf("crossbar power not monotone: %g, %g, %g", idle, half, busy)
+	}
+	if math.Abs(busy-x.MaxW) > 1e-12 {
+		t.Errorf("peak crossbar = %g, want MaxW=%g", busy, x.MaxW)
+	}
+}
+
+func chipInput(n int, st CoreState, lvl VfLevel, util float64) ChipInput {
+	cores := make([]CoreInput, n)
+	for i := range cores {
+		cores[i] = CoreInput{State: st, Level: lvl, Util: util, MemActivity: 0.3}
+	}
+	return ChipInput{Cores: cores, AmbientC: 45}
+}
+
+func TestComputeBlockVector(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := m.Compute(s, chipInput(8, StateActive, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) != s.NumBlocks() {
+		t.Fatalf("power vector length %d, want %d", len(pv), s.NumBlocks())
+	}
+	for i, p := range pv {
+		if p < 0 {
+			t.Errorf("block %d has negative power %g", i, p)
+		}
+	}
+	// A fully busy chip should draw meaningfully more than an idle one.
+	idle, _ := m.Compute(s, chipInput(8, StateIdle, 0, 0))
+	if Total(pv) <= Total(idle) {
+		t.Errorf("busy total %g W <= idle total %g W", Total(pv), Total(idle))
+	}
+}
+
+func TestComputeLeakageFeedback(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	m := DefaultModel()
+	in := chipInput(8, StateActive, 0, 1)
+	cold, _ := m.Compute(s, in)
+	hot := make([]float64, s.NumBlocks())
+	for i := range hot {
+		hot[i] = 90
+	}
+	in.BlockTempsC = hot
+	hotP, _ := m.Compute(s, in)
+	if Total(hotP) <= Total(cold) {
+		t.Errorf("hot chip should leak more: %g W vs %g W", Total(hotP), Total(cold))
+	}
+}
+
+func TestComputeLeakageDisabled(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	m := DefaultModel()
+	m.LeakageEnabled = false
+	in := chipInput(8, StateSleep, 0, 0)
+	pv, _ := m.Compute(s, in)
+	// With leakage off and all cores asleep, core blocks draw exactly
+	// the sleep power.
+	for _, c := range s.Cores() {
+		if got := pv[s.BlockIndex(c)]; got != 0.02 {
+			t.Errorf("sleeping core draws %g W, want 0.02", got)
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	m := DefaultModel()
+	if _, err := m.Compute(s, chipInput(3, StateActive, 0, 1)); err == nil {
+		t.Error("wrong core count accepted")
+	}
+	in := chipInput(8, StateActive, 0, 1)
+	in.BlockTempsC = []float64{1, 2}
+	if _, err := m.Compute(s, in); err == nil {
+		t.Error("wrong block temp count accepted")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := DefaultModel()
+	m.Core.IdleW = 10
+	if err := m.Validate(); err == nil {
+		t.Error("idle > active accepted")
+	}
+	m = DefaultModel()
+	m.OtherW = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative other power accepted")
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	m := DefaultModel()
+	pv, _ := m.Compute(s, chipInput(8, StateActive, 0, 1))
+	e := NewEnergyMeter()
+	if err := e.Accumulate(s, pv, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Accumulate(s, pv, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	wantJ := Total(pv) * 0.2
+	if math.Abs(e.TotalJ()-wantJ) > 1e-9 {
+		t.Errorf("TotalJ = %g, want %g", e.TotalJ(), wantJ)
+	}
+	if math.Abs(e.AveragePowerW()-Total(pv)) > 1e-9 {
+		t.Errorf("AveragePowerW = %g, want %g", e.AveragePowerW(), Total(pv))
+	}
+	if e.ByKindJ(floorplan.KindCore) <= 0 {
+		t.Error("no core energy recorded")
+	}
+	if e.ElapsedS() != 0.2 {
+		t.Errorf("elapsed = %g, want 0.2", e.ElapsedS())
+	}
+}
+
+func TestEnergyMeterValidation(t *testing.T) {
+	s := floorplan.MustBuild(floorplan.EXP1)
+	e := NewEnergyMeter()
+	if err := e.Accumulate(s, []float64{1}, 0.1); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+	pv := make([]float64, s.NumBlocks())
+	if err := e.Accumulate(s, pv, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestCoreStateString(t *testing.T) {
+	if StateActive.String() != "active" || StateSleep.String() != "sleep" ||
+		StateGated.String() != "gated" || StateIdle.String() != "idle" {
+		t.Error("CoreState.String unexpected")
+	}
+}

@@ -1,0 +1,153 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclingJEDECCalibration(t *testing.T) {
+	m := DefaultCycling()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper cites [13]: failures are 16x more frequent when ΔT grows
+	// from 10 to 20 °C.
+	ratio := m.CycleDamage(20) / m.CycleDamage(10)
+	if math.Abs(ratio-16) > 1e-9 {
+		t.Errorf("damage(20)/damage(10) = %g, JEDEC says 16", ratio)
+	}
+	if m.CycleDamage(20) != 1 {
+		t.Errorf("reference cycle damage = %g, want 1", m.CycleDamage(20))
+	}
+	if m.CycleDamage(0) != 0 || m.CycleDamage(-5) != 0 {
+		t.Error("non-positive amplitudes should contribute nothing")
+	}
+}
+
+func TestCyclingDamageAccumulation(t *testing.T) {
+	m := DefaultCycling()
+	full := []float64{20, 20}
+	half := []float64{20}
+	if got := m.Damage(full, half); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("Damage = %g, want 2.5 (2 full + half-weighted residual)", got)
+	}
+}
+
+func TestCyclingValidate(t *testing.T) {
+	if err := (CyclingModel{Exponent: 0, RefDeltaC: 20}).Validate(); err == nil {
+		t.Error("zero exponent accepted")
+	}
+}
+
+func TestEMRateFactor(t *testing.T) {
+	m := DefaultEM()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.RateFactor(m.RefC); math.Abs(got-1) > 1e-12 {
+		t.Errorf("rate at reference = %g, want 1", got)
+	}
+	hot := m.RateFactor(m.RefC + 10)
+	cold := m.RateFactor(m.RefC - 10)
+	if hot <= 1 || cold >= 1 {
+		t.Errorf("rate factors not ordered: hot=%g cold=%g", hot, cold)
+	}
+	// 0.7 eV gives roughly a doubling per ~12 K near 85 °C.
+	if hot < 1.5 || hot > 2.5 {
+		t.Errorf("rate at +10 K = %g, expected ~1.7-1.9", hot)
+	}
+}
+
+func TestEMMonotoneProperty(t *testing.T) {
+	m := DefaultEM()
+	f := func(a, b uint8) bool {
+		t1 := 40 + float64(a%80)
+		t2 := 40 + float64(b%80)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return m.RateFactor(t1) <= m.RateFactor(t2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMValidate(t *testing.T) {
+	if err := (EMModel{ActivationEV: 0, RefC: 85}).Validate(); err == nil {
+		t.Error("zero activation energy accepted")
+	}
+	if err := (EMModel{ActivationEV: 0.7, RefC: -300}).Validate(); err == nil {
+		t.Error("sub-absolute-zero reference accepted")
+	}
+}
+
+func TestAssessorValidation(t *testing.T) {
+	if _, err := NewAssessor(0, 0.1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewAssessor(4, 0); err == nil {
+		t.Error("zero tick accepted")
+	}
+	a, _ := NewAssessor(2, 0.1)
+	if err := a.Record([]float64{1}); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+}
+
+func TestAssessorCyclingVsSteady(t *testing.T) {
+	// A core that swings 60<->85 repeatedly must accumulate far more
+	// cycling damage than one parked at the average.
+	cycler, _ := NewAssessor(1, 0.1)
+	steady, _ := NewAssessor(1, 0.1)
+	for i := 0; i < 200; i++ {
+		temp := 60.0
+		if i%2 == 1 {
+			temp = 85
+		}
+		cycler.Record([]float64{temp})
+		steady.Record([]float64{72.5})
+	}
+	rc := cycler.Report()[0]
+	rs := steady.Report()[0]
+	if rc.CyclingDamage <= rs.CyclingDamage {
+		t.Errorf("cycling damage %g should exceed steady %g", rc.CyclingDamage, rs.CyclingDamage)
+	}
+	if rc.FullCycles == 0 {
+		t.Error("no full cycles counted for an oscillating core")
+	}
+	if rs.FullCycles != 0 {
+		t.Error("steady core should close no cycles")
+	}
+}
+
+func TestAssessorEMHotterIsWorse(t *testing.T) {
+	hot, _ := NewAssessor(1, 0.1)
+	cool, _ := NewAssessor(1, 0.1)
+	for i := 0; i < 100; i++ {
+		hot.Record([]float64{90})
+		cool.Record([]float64{65})
+	}
+	if hot.Report()[0].EMAcceleration <= cool.Report()[0].EMAcceleration {
+		t.Error("hotter core should have higher EM acceleration")
+	}
+	// The cool run should win relative MTTF vs the hot baseline.
+	if r := cool.RelativeMTTF(hot); r <= 1 {
+		t.Errorf("RelativeMTTF(cool vs hot) = %g, want > 1", r)
+	}
+}
+
+func TestWorstCore(t *testing.T) {
+	a, _ := NewAssessor(3, 0.1)
+	for i := 0; i < 100; i++ {
+		t2 := 60.0
+		if i%2 == 0 {
+			t2 = 90 // core 2 cycles hard and runs hot
+		}
+		a.Record([]float64{60, 62, t2})
+	}
+	if w := a.WorstCore(); w.Core != 2 {
+		t.Errorf("worst core = %d, want 2", w.Core)
+	}
+}

@@ -1,0 +1,153 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and simple bar charts for terminal consumption.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	aligned bool
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.2f.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2) + "\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (without the title).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	if len(t.Header) > 0 {
+		hs := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			hs[i] = esc(h)
+		}
+		b.WriteString(strings.Join(hs, ",") + "\n")
+	}
+	for _, r := range t.rows {
+		rs := make([]string, len(r))
+		for i, c := range r {
+			rs[i] = esc(c)
+		}
+		b.WriteString(strings.Join(rs, ",") + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// BarChart renders a horizontal ASCII bar chart of labeled values scaled
+// to maxWidth characters.
+func BarChart(w io.Writer, title string, labels []string, values []float64, maxWidth int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: %d labels for %d values", len(labels), len(values))
+	}
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	maxVal, maxLab := 0.0, 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLab {
+			maxLab = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.2f\n", maxLab, labels[i], strings.Repeat("#", n), v)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

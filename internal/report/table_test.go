@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-longer", 22)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Title", "Name", "Value", "alpha", "1.50", "beta-longer", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("x,y", 2.0)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma value not quoted: %q", out)
+	}
+	if strings.Contains(out, "ignored") {
+		t.Error("CSV must not contain the title")
+	}
+}
+
+func TestTableCSVQuoteEscaping(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow(`say "hi"`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"say ""hi"""`) {
+		t.Errorf("quotes not escaped: %q", b.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	err := BarChart(&b, "chart", []string{"one", "two"}, []float64{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar should reach full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Error("half bar missing")
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	var b strings.Builder
+	if err := BarChart(&b, "", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Error("mismatched labels/values accepted")
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var b strings.Builder
+	if err := BarChart(&b, "", []string{"a", "b"}, []float64{0, 0}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Error("zero values should draw no bars")
+	}
+}

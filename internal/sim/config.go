@@ -1,0 +1,143 @@
+// Package sim is the dynamic management infrastructure of Section IV-D:
+// it couples the synthetic workload, the multi-queue job scheduler, the
+// management policy under test, the power model (with its leakage
+// feedback loop), and the 3D thermal model, advancing everything on a
+// common 100 ms sampling/scheduling tick, and collects the paper's
+// metrics.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Exp selects the 3D configuration (EXP-1..EXP-4).
+	Exp floorplan.Experiment
+	// CustomStack, when non-nil, overrides Exp with a caller-built
+	// floorplan stack (it must pass Validate).
+	CustomStack *floorplan.Stack
+	// JointResistivityMKW is the TSV-adjusted interlayer resistivity;
+	// 0 selects the paper's 0.23 m·K/W.
+	JointResistivityMKW float64
+
+	// Policy is the management policy under test (required).
+	Policy policy.Policy
+	// UseDPM composes the fixed-timeout sleep-state power manager with
+	// the policy (the "with DPM" configurations of Figures 4-6).
+	UseDPM bool
+	// DPM overrides the default 300 ms timeout when UseDPM is set.
+	DPM policy.DPM
+
+	// Bench selects the workload; ignored when Jobs is provided.
+	Bench workload.Benchmark
+	// Jobs optionally replays a pre-generated trace so that different
+	// policies see the identical arrival sequence.
+	Jobs []workload.Job
+
+	// DurationS is the simulated time (paper traces: 1800 s).
+	DurationS float64
+	// TickS is the sampling/scheduling interval (paper: 100 ms).
+	TickS float64
+	// Seed drives workload generation (when Jobs is nil).
+	Seed int64
+
+	// Thermal, Power and Sensors default to the paper's models when zero.
+	Thermal *thermal.Params
+	Power   *power.Model
+	Sensors thermal.SensorConfig
+
+	// ThresholdC is the thermal emergency threshold (default 85 °C);
+	// TprefC the preferred operating temperature (default 80 °C).
+	ThresholdC float64
+	TprefC     float64
+
+	// GridRows/GridCols switch the thermal model to grid mode when both
+	// are positive; block mode otherwise.
+	GridRows, GridCols int
+
+	// MigrationCostS is the per-migration penalty (default 1 ms).
+	MigrationCostS float64
+
+	// CycleWindowTicks sets the thermal-cycle sliding window (default
+	// 100 ticks = 10 s).
+	CycleWindowTicks int
+
+	// AssessReliability additionally runs the rainflow/Black's-equation
+	// reliability assessor over the per-core thermal histories and
+	// attaches per-core reports to the result.
+	AssessReliability bool
+
+	// TraceWriter, when non-nil, receives a per-tick CSV trace:
+	// time_s, total power (W), then one temperature column per core.
+	TraceWriter io.Writer
+}
+
+// withDefaults fills in the paper's settings and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Policy == nil {
+		return c, fmt.Errorf("sim: config needs a policy")
+	}
+	if c.Exp == 0 {
+		c.Exp = floorplan.EXP1
+	}
+	if c.JointResistivityMKW == 0 {
+		c.JointResistivityMKW = 0.23
+	}
+	if c.DurationS == 0 {
+		c.DurationS = 1800
+	}
+	if c.DurationS < 0 {
+		return c, fmt.Errorf("sim: negative duration %g", c.DurationS)
+	}
+	if c.TickS == 0 {
+		c.TickS = 0.1
+	}
+	if c.TickS <= 0 {
+		return c, fmt.Errorf("sim: non-positive tick %g", c.TickS)
+	}
+	if c.Thermal == nil {
+		p := thermal.DefaultParams()
+		c.Thermal = &p
+	}
+	if c.Power == nil {
+		m := power.DefaultModel()
+		c.Power = &m
+	}
+	if c.ThresholdC == 0 {
+		c.ThresholdC = 85
+	}
+	if c.TprefC == 0 {
+		c.TprefC = 80
+	}
+	if c.TprefC >= c.ThresholdC {
+		return c, fmt.Errorf("sim: Tpref %g must be below threshold %g", c.TprefC, c.ThresholdC)
+	}
+	if c.UseDPM && c.DPM.TimeoutS == 0 {
+		c.DPM = policy.DefaultDPM()
+	}
+	if c.MigrationCostS == 0 {
+		c.MigrationCostS = 0.001
+	}
+	if c.MigrationCostS < 0 {
+		return c, fmt.Errorf("sim: negative migration cost %g", c.MigrationCostS)
+	}
+	if c.CycleWindowTicks == 0 {
+		c.CycleWindowTicks = 100
+	}
+	if c.Bench.Name == "" && c.Jobs == nil {
+		b, err := workload.ByName("Web-med")
+		if err != nil {
+			return c, err
+		}
+		c.Bench = b
+	}
+	return c, nil
+}

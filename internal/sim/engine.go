@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/reliability"
+	"repro/internal/sched"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	PolicyName string
+	Exp        floorplan.Experiment
+	UseDPM     bool
+
+	Metrics metrics.Summary
+	Sched   sched.Stats
+
+	EnergyJ   float64
+	AvgPowerW float64
+
+	Ticks         int
+	JobsGenerated int
+	JobsCompleted int
+	SleepEntries  int // DPM sleep transitions
+	GatedTicks    int // core-ticks spent clock gated
+
+	// Reliability holds the per-core wear reports when
+	// Config.AssessReliability is set; WorstCoreStress identifies the
+	// most stressed core.
+	Reliability     []reliability.CoreReport
+	WorstCoreStress reliability.CoreReport
+
+	// FinalBlockTempsC is the block temperature field at the end of the
+	// run (stack block order), usable with thermal.RenderHeatmap.
+	FinalBlockTempsC []float64
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	stack := cfg.CustomStack
+	if stack == nil {
+		stack, err = floorplan.BuildWithResistivity(cfg.Exp, cfg.JointResistivityMKW)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := stack.Finalize(); err != nil {
+		return nil, fmt.Errorf("sim: custom stack invalid: %w", err)
+	}
+	var model *thermal.Model
+	if cfg.GridRows > 0 && cfg.GridCols > 0 {
+		model, err = thermal.NewGridModel(stack, *cfg.Thermal, cfg.GridRows, cfg.GridCols)
+	} else {
+		model, err = thermal.NewBlockModel(stack, *cfg.Thermal)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, err
+	}
+	sensors, err := thermal.NewSensors(cfg.Sensors)
+	if err != nil {
+		return nil, err
+	}
+
+	n := stack.NumCores()
+	machine, err := sched.NewMachine(n, cfg.MigrationCostS)
+	if err != nil {
+		return nil, err
+	}
+
+	jobs := cfg.Jobs
+	if jobs == nil {
+		jobs, err = workload.Generate(workload.GenConfig{
+			Bench:     cfg.Bench,
+			NumCores:  n,
+			DurationS: cfg.DurationS,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Initialize the thermal state the way the paper initializes HotSpot:
+	// with the steady-state temperatures of the idle chip (two fixed-point
+	// iterations to make leakage consistent with temperature).
+	states := make([]power.CoreState, n)
+	levels := make([]power.VfLevel, n)
+	utils := make([]float64, n)
+	for c := range states {
+		states[c] = power.StateIdle
+	}
+	idleIn := power.ChipInput{Cores: coreInputs(states, levels, utils, make([]float64, n)), AmbientC: cfg.Thermal.AmbientC}
+	blockPower, err := cfg.Power.Compute(stack, idleIn)
+	if err != nil {
+		return nil, err
+	}
+	nodeTemps, err := model.SteadyState(blockPower)
+	if err != nil {
+		return nil, err
+	}
+	idleIn.BlockTempsC = model.BlockTemps(nodeTemps)
+	if blockPower, err = cfg.Power.Compute(stack, idleIn); err != nil {
+		return nil, err
+	}
+	if nodeTemps, err = model.SteadyState(blockPower); err != nil {
+		return nil, err
+	}
+
+	tr, err := model.NewTransient(cfg.TickS, nodeTemps)
+	if err != nil {
+		return nil, err
+	}
+	blockTemps := model.BlockTemps(nodeTemps)
+	coreTemps := model.CoreTemps(nodeTemps)
+	readings := sensors.Read(coreTemps)
+
+	collector, err := metrics.NewCollector(stack, metrics.CollectorConfig{
+		HotSpotC:    cfg.ThresholdC,
+		CycleWindow: cfg.CycleWindowTicks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	energy := power.NewEnergyMeter()
+
+	res := &Result{
+		PolicyName:    cfg.Policy.Name(),
+		Exp:           cfg.Exp,
+		UseDPM:        cfg.UseDPM,
+		JobsGenerated: len(jobs),
+	}
+
+	var assessor *reliability.Assessor
+	if cfg.AssessReliability {
+		if assessor, err = reliability.NewAssessor(n, cfg.TickS); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TraceWriter != nil {
+		fmt.Fprintf(cfg.TraceWriter, "time_s,power_w")
+		for c := 0; c < n; c++ {
+			fmt.Fprintf(cfg.TraceWriter, ",core%d_c", c)
+		}
+		fmt.Fprintln(cfg.TraceWriter)
+	}
+
+	gated := make([]bool, n)
+	sleeping := make([]bool, n)
+	jobIdx := 0
+	nTicks := int(cfg.DurationS / cfg.TickS)
+	view := &policy.View{
+		TickS:      cfg.TickS,
+		Stack:      stack,
+		DVFS:       cfg.Power.DVFS,
+		ThresholdC: cfg.ThresholdC,
+		TprefC:     cfg.TprefC,
+	}
+
+	for tick := 0; tick < nTicks; tick++ {
+		now := float64(tick) * cfg.TickS
+		view.NowS = now
+		view.TempsC = readings
+		view.Utils = utils
+		view.QueueLens = machine.QueueLens()
+		view.States = states
+		view.Levels = levels
+
+		// 1. Dispatch arrivals for this interval via the policy.
+		for jobIdx < len(jobs) && jobs[jobIdx].ArrivalS < now+cfg.TickS {
+			c := cfg.Policy.AssignCore(view, jobs[jobIdx])
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("sim: policy %s assigned job to invalid core %d", cfg.Policy.Name(), c)
+			}
+			if err := machine.Enqueue(jobs[jobIdx], c); err != nil {
+				return nil, err
+			}
+			if sleeping[c] {
+				sleeping[c] = false // wake on dispatch
+			}
+			jobIdx++
+			view.QueueLens = machine.QueueLens()
+		}
+
+		// 2. Policy decisions for the interval.
+		d := cfg.Policy.Tick(view)
+		if d.Levels != nil {
+			if len(d.Levels) != n {
+				return nil, fmt.Errorf("sim: policy %s returned %d levels for %d cores", cfg.Policy.Name(), len(d.Levels), n)
+			}
+			copy(levels, d.Levels)
+		}
+		for c := range gated {
+			gated[c] = false
+		}
+		if d.Gate != nil {
+			if len(d.Gate) != n {
+				return nil, fmt.Errorf("sim: policy %s returned %d gates for %d cores", cfg.Policy.Name(), len(d.Gate), n)
+			}
+			copy(gated, d.Gate)
+		}
+		for _, m := range d.Migrations {
+			if m.Tail {
+				err = machine.MoveTail(m.From, m.To)
+			} else {
+				err = machine.Migrate(m.From, m.To)
+			}
+			if err != nil {
+				return nil, err
+			}
+			// A migration target must be awake to run the job.
+			if machine.QueueLen(m.To) > 0 && sleeping[m.To] {
+				sleeping[m.To] = false
+			}
+		}
+
+		// 3. DPM: fixed timeout to sleep; waking happened at dispatch.
+		if cfg.UseDPM {
+			for c := 0; c < n; c++ {
+				if !sleeping[c] && machine.QueueLen(c) == 0 && cfg.DPM.ShouldSleep(machine.IdleDurationS(c)) {
+					sleeping[c] = true
+					res.SleepEntries++
+				}
+			}
+		}
+
+		// 4. Execute the interval.
+		speeds := make([]float64, n)
+		for c := 0; c < n; c++ {
+			switch {
+			case gated[c], sleeping[c]:
+				speeds[c] = 0
+			default:
+				speeds[c] = cfg.Power.DVFS.FreqScale(levels[c])
+			}
+			if gated[c] {
+				res.GatedTicks++
+			}
+		}
+		if utils, err = machine.Advance(cfg.TickS, speeds); err != nil {
+			return nil, err
+		}
+
+		// 5. Derive core states and compute power with the leakage loop
+		// fed by the previous interval's temperatures.
+		mem := machine.MemActivity()
+		for c := 0; c < n; c++ {
+			switch {
+			case sleeping[c]:
+				states[c] = power.StateSleep
+			case gated[c]:
+				states[c] = power.StateGated
+			case machine.QueueLen(c) > 0 || utils[c] > 0:
+				states[c] = power.StateActive
+			default:
+				states[c] = power.StateIdle
+			}
+		}
+		in := power.ChipInput{
+			Cores:       coreInputs(states, levels, utils, mem),
+			BlockTempsC: blockTemps,
+			AmbientC:    cfg.Thermal.AmbientC,
+		}
+		if blockPower, err = cfg.Power.Compute(stack, in); err != nil {
+			return nil, err
+		}
+		if err = energy.Accumulate(stack, blockPower, cfg.TickS); err != nil {
+			return nil, err
+		}
+
+		// 6. Advance the thermal network and read the sensors.
+		if nodeTemps, err = tr.Step(blockPower); err != nil {
+			return nil, err
+		}
+		blockTemps = model.BlockTemps(nodeTemps)
+		coreTemps = model.CoreTemps(nodeTemps)
+		readings = sensors.Read(coreTemps)
+
+		// 7. Metrics (on true temperatures, as the paper evaluates the
+		// simulator state, not the noisy sensor stream).
+		if err = collector.Record(blockTemps, coreTemps); err != nil {
+			return nil, err
+		}
+		if assessor != nil {
+			if err = assessor.Record(coreTemps); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.TraceWriter != nil {
+			fmt.Fprintf(cfg.TraceWriter, "%.1f,%.3f", now+cfg.TickS, power.Total(blockPower))
+			for _, t := range coreTemps {
+				fmt.Fprintf(cfg.TraceWriter, ",%.3f", t)
+			}
+			fmt.Fprintln(cfg.TraceWriter)
+		}
+		res.Ticks++
+	}
+
+	res.Metrics = collector.Summarize()
+	res.FinalBlockTempsC = blockTemps
+	if assessor != nil {
+		res.Reliability = assessor.Report()
+		res.WorstCoreStress = assessor.WorstCore()
+	}
+	res.Sched = machine.ComputeStats()
+	res.JobsCompleted = res.Sched.Completed
+	res.EnergyJ = energy.TotalJ()
+	res.AvgPowerW = energy.AveragePowerW()
+	return res, nil
+}
+
+func coreInputs(states []power.CoreState, levels []power.VfLevel, utils, mem []float64) []power.CoreInput {
+	out := make([]power.CoreInput, len(states))
+	for c := range out {
+		out[c] = power.CoreInput{
+			State:       states[c],
+			Level:       levels[c],
+			Util:        utils[c],
+			MemActivity: mem[c],
+		}
+	}
+	return out
+}

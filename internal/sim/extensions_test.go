@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+)
+
+func TestRunReliabilityAssessment(t *testing.T) {
+	cfg := shortCfg(t, policy.NewDefault())
+	cfg.AssessReliability = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := floorplan.MustBuild(cfg.Exp)
+	if len(r.Reliability) != stack.NumCores() {
+		t.Fatalf("reliability reports for %d cores, want %d", len(r.Reliability), stack.NumCores())
+	}
+	for _, rep := range r.Reliability {
+		if rep.EMAcceleration <= 0 {
+			t.Errorf("core %d has zero EM acceleration", rep.Core)
+		}
+		if rep.CyclingDamage < 0 {
+			t.Errorf("core %d has negative cycling damage", rep.Core)
+		}
+	}
+	found := false
+	for _, rep := range r.Reliability {
+		if rep == r.WorstCoreStress {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("worst core report not among the per-core reports")
+	}
+}
+
+func TestRunTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := shortCfg(t, policy.NewDefault())
+	cfg.DurationS = 5
+	cfg.TraceWriter = &buf
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != r.Ticks+1 {
+		t.Fatalf("trace has %d lines, want header + %d ticks", len(lines), r.Ticks)
+	}
+	head := strings.Split(lines[0], ",")
+	if head[0] != "time_s" || head[1] != "power_w" {
+		t.Errorf("trace header %v", head[:2])
+	}
+	stack := floorplan.MustBuild(cfg.Exp)
+	if len(head) != 2+stack.NumCores() {
+		t.Errorf("trace header has %d columns, want %d", len(head), 2+stack.NumCores())
+	}
+	row := strings.Split(lines[1], ",")
+	if len(row) != len(head) {
+		t.Errorf("row width %d != header width %d", len(row), len(head))
+	}
+}
+
+func TestRunOnlineIndicesConverge(t *testing.T) {
+	// The runtime-index variant must rediscover the layer ordering the
+	// offline solve produces: after a warm-up on a 4-tier stack, the
+	// far-layer cores should carry higher α than near-layer cores.
+	stack := floorplan.MustBuild(floorplan.EXP3)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 5
+	cfg.OnlineWindow = 200 // 20 s at the 100 ms tick
+	pol, err := core.New(stack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := shortCfg(t, pol)
+	simCfg.Exp = floorplan.EXP3
+	simCfg.DurationS = 60
+	if _, err := Run(simCfg); err != nil {
+		t.Fatal(err)
+	}
+	alpha := pol.Alpha()
+	nearSum, farSum := 0.0, 0.0
+	for i := 0; i < 8; i++ {
+		nearSum += alpha[i]
+		farSum += alpha[8+i]
+	}
+	if farSum <= nearSum {
+		t.Errorf("online indices did not find the layer ordering: near %g, far %g", nearSum, farSum)
+	}
+}
+
+func TestReliabilityComparesPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison run is slow")
+	}
+	// The DPM configuration must show more cycling stress than the same
+	// policy without DPM (the paper's Section V-D rationale for only
+	// reporting cycles with DPM).
+	cfg := shortCfg(t, policy.NewDefault())
+	cfg.Exp = floorplan.EXP3
+	cfg.DurationS = 120
+	cfg.AssessReliability = true
+	rNo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseDPM = true
+	rDpm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycNo, cycDpm float64
+	for i := range rNo.Reliability {
+		cycNo += rNo.Reliability[i].CyclingDamage
+		cycDpm += rDpm.Reliability[i].CyclingDamage
+	}
+	if cycDpm <= cycNo {
+		t.Errorf("DPM cycling damage %g should exceed no-DPM %g", cycDpm, cycNo)
+	}
+}

@@ -1,0 +1,168 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/geometry"
+)
+
+// heatGlyphs maps normalized temperature to density glyphs, coolest to
+// hottest.
+const heatGlyphs = " .:-=+*#%@"
+
+// HeatmapOptions control the ASCII rendering.
+type HeatmapOptions struct {
+	Cols, Rows int // character resolution per layer (defaults 46x12)
+	// MinC/MaxC pin the colour scale; zero values auto-scale to the
+	// data range.
+	MinC, MaxC float64
+}
+
+// RenderHeatmap draws per-layer ASCII heat maps of a block-temperature
+// vector (stack block order), the closest text equivalent of HotSpot's
+// grid thermal maps. Each layer is sampled at character resolution by
+// locating the block under each cell centre.
+func RenderHeatmap(stack *floorplan.Stack, blockTempsC []float64, opts HeatmapOptions) (string, error) {
+	if len(blockTempsC) != stack.NumBlocks() {
+		return "", fmt.Errorf("thermal: heatmap got %d temps for %d blocks", len(blockTempsC), stack.NumBlocks())
+	}
+	cols, rows := opts.Cols, opts.Rows
+	if cols <= 0 {
+		cols = 46
+	}
+	if rows <= 0 {
+		rows = 12
+	}
+	lo, hi := opts.MinC, opts.MaxC
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, t := range blockTempsC {
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "Thermal map %s: scale %.1f °C '%c' .. %.1f °C '%c'\n",
+		stack.Name, lo, heatGlyphs[0], hi, heatGlyphs[len(heatGlyphs)-1])
+	for li := len(stack.Layers) - 1; li >= 0; li-- {
+		layer := stack.Layers[li]
+		bounds := layer.Bounds()
+		layerLo, layerHi := math.Inf(1), math.Inf(-1)
+		for _, b := range layer.Blocks {
+			t := blockTempsC[stack.BlockIndex(b)]
+			layerLo = math.Min(layerLo, t)
+			layerHi = math.Max(layerHi, t)
+		}
+		fmt.Fprintf(&out, "Layer %d (%.1f-%.1f °C)%s\n", li, layerLo, layerHi, sinkNote(li))
+		border := "+" + strings.Repeat("-", cols) + "+"
+		out.WriteString(border + "\n")
+		for r := 0; r < rows; r++ {
+			out.WriteByte('|')
+			for c := 0; c < cols; c++ {
+				x := bounds.X + (float64(c)+0.5)/float64(cols)*bounds.W
+				y := bounds.Y + (float64(rows-1-r)+0.5)/float64(rows)*bounds.H
+				out.WriteByte(glyphAt(stack, layer, blockTempsC, x, y, lo, hi))
+			}
+			out.WriteString("|\n")
+		}
+		out.WriteString(border + "\n")
+	}
+	return out.String(), nil
+}
+
+func sinkNote(layerIndex int) string {
+	if layerIndex == 0 {
+		return "  [heat sink side]"
+	}
+	return ""
+}
+
+func glyphAt(stack *floorplan.Stack, layer *floorplan.Layer, temps []float64, x, y, lo, hi float64) byte {
+	for _, b := range layer.Blocks {
+		if b.Rect.Contains(x, y) {
+			t := temps[stack.BlockIndex(b)]
+			idx := int((t - lo) / (hi - lo) * float64(len(heatGlyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatGlyphs) {
+				idx = len(heatGlyphs) - 1
+			}
+			return heatGlyphs[idx]
+		}
+	}
+	return ' '
+}
+
+// HotBlocks lists block names whose temperature exceeds the threshold,
+// hottest first (for report summaries).
+func HotBlocks(stack *floorplan.Stack, blockTempsC []float64, thresholdC float64) ([]string, error) {
+	if len(blockTempsC) != stack.NumBlocks() {
+		return nil, fmt.Errorf("thermal: hot-block scan got %d temps for %d blocks", len(blockTempsC), stack.NumBlocks())
+	}
+	type hot struct {
+		name string
+		t    float64
+	}
+	var hots []hot
+	for bi, b := range stack.Blocks() {
+		if blockTempsC[bi] > thresholdC {
+			hots = append(hots, hot{b.Name, blockTempsC[bi]})
+		}
+	}
+	// Insertion sort by temperature descending (lists are tiny).
+	for i := 1; i < len(hots); i++ {
+		for j := i; j > 0 && hots[j].t > hots[j-1].t; j-- {
+			hots[j], hots[j-1] = hots[j-1], hots[j]
+		}
+	}
+	out := make([]string, len(hots))
+	for i, h := range hots {
+		out[i] = fmt.Sprintf("%s (%.1f °C)", h.name, h.t)
+	}
+	return out, nil
+}
+
+// SampleLine extracts a 1D temperature profile along a horizontal line at
+// height y (mm) across one layer, at n sample points — useful for
+// plotting lateral gradients.
+func SampleLine(stack *floorplan.Stack, blockTempsC []float64, layerIndex int, y float64, n int) ([]float64, error) {
+	if len(blockTempsC) != stack.NumBlocks() {
+		return nil, fmt.Errorf("thermal: line sample got %d temps for %d blocks", len(blockTempsC), stack.NumBlocks())
+	}
+	if layerIndex < 0 || layerIndex >= len(stack.Layers) {
+		return nil, fmt.Errorf("thermal: layer %d out of range", layerIndex)
+	}
+	if n <= 1 {
+		return nil, fmt.Errorf("thermal: need at least 2 samples, got %d", n)
+	}
+	layer := stack.Layers[layerIndex]
+	bounds := layer.Bounds()
+	if y < bounds.Y || y > bounds.Top() {
+		return nil, fmt.Errorf("thermal: y=%g outside layer bounds", y)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		x := bounds.X + float64(i)/float64(n-1)*bounds.W
+		x = math.Min(x, bounds.Right()-geometry.Eps)
+		found := false
+		for _, b := range layer.Blocks {
+			if b.Rect.Contains(x, y) {
+				out[i] = blockTempsC[stack.BlockIndex(b)]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("thermal: no block at (%.3f, %.3f) on layer %d", x, y, layerIndex)
+		}
+	}
+	return out, nil
+}

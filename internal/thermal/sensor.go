@@ -1,0 +1,63 @@
+package thermal
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SensorConfig describes the per-core temperature sensors assumed by the
+// paper's dynamic management infrastructure (one sensor per core, read
+// every scheduling interval).
+type SensorConfig struct {
+	// NoiseStdDevC is the standard deviation of additive Gaussian read
+	// noise in °C (0 disables noise).
+	NoiseStdDevC float64
+	// QuantizationC rounds readings to the nearest multiple (0 disables
+	// quantization). Real on-die thermal diodes typically quantize to
+	// 0.25-1 °C.
+	QuantizationC float64
+	// Seed makes the noise stream reproducible.
+	Seed int64
+}
+
+// Sensors models the per-core temperature sensor bank.
+type Sensors struct {
+	cfg SensorConfig
+	rng *rand.Rand
+}
+
+// NewSensors builds a sensor bank. The zero config yields ideal sensors.
+func NewSensors(cfg SensorConfig) (*Sensors, error) {
+	if cfg.NoiseStdDevC < 0 {
+		return nil, fmt.Errorf("thermal: sensor noise stddev must be >= 0, got %g", cfg.NoiseStdDevC)
+	}
+	if cfg.QuantizationC < 0 {
+		return nil, fmt.Errorf("thermal: sensor quantization must be >= 0, got %g", cfg.QuantizationC)
+	}
+	return &Sensors{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Read maps true core temperatures to sensor readings, applying noise and
+// quantization. The input slice is not modified.
+func (s *Sensors) Read(trueTempsC []float64) []float64 {
+	out := make([]float64, len(trueTempsC))
+	for i, t := range trueTempsC {
+		v := t
+		if s.cfg.NoiseStdDevC > 0 {
+			v += s.rng.NormFloat64() * s.cfg.NoiseStdDevC
+		}
+		if q := s.cfg.QuantizationC; q > 0 {
+			v = quantize(v, q)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func quantize(v, q float64) float64 {
+	n := v / q
+	if n >= 0 {
+		return q * float64(int64(n+0.5))
+	}
+	return q * float64(int64(n-0.5))
+}

@@ -1,0 +1,187 @@
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Transient integrates the network ODE  C dT/dt = P - G·T  with the
+// unconditionally stable implicit (backward) Euler method:
+//
+//	(C/dt + G) T_{k+1} = (C/dt) T_k + P_{k+1}
+//
+// The left-hand matrix is LU-factored once at construction, so each Step
+// costs one triangular solve. This matches how the paper's framework
+// advances HotSpot once per 100 ms sampling interval.
+type Transient struct {
+	m   *Model
+	dt  float64
+	lu  *linalg.LU
+	cdt []float64 // C/dt per node
+
+	// state: temperature rise above ambient per node
+	rise []float64
+	rhs  []float64
+}
+
+// NewTransient prepares an integrator with time step dt seconds, starting
+// from the node temperatures init (°C); pass nil to start at ambient.
+func (m *Model) NewTransient(dt float64, init []float64) (*Transient, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: transient step must be positive, got %g", dt)
+	}
+	n := m.NumNodes
+	if init != nil && len(init) != n {
+		return nil, fmt.Errorf("thermal: init vector has %d entries, want %d", len(init), n)
+	}
+	a := m.G.ToDense()
+	cdt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cdt[i] = m.C[i] / dt
+		a.Add(i, i, cdt[i])
+	}
+	lu, err := linalg.Factor(a)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: transient factorization failed: %w", err)
+	}
+	tr := &Transient{
+		m:    m,
+		dt:   dt,
+		lu:   lu,
+		cdt:  cdt,
+		rise: make([]float64, n),
+		rhs:  make([]float64, n),
+	}
+	if init != nil {
+		for i := range tr.rise {
+			tr.rise[i] = init[i] - m.Params.AmbientC
+		}
+	}
+	return tr, nil
+}
+
+// Dt returns the integrator step in seconds.
+func (t *Transient) Dt() float64 { return t.dt }
+
+// Step advances the network by one dt under the given per-block power (W)
+// and returns the new node temperatures (°C). The returned slice is
+// freshly allocated.
+func (t *Transient) Step(blockPower []float64) ([]float64, error) {
+	pn, err := t.m.ExpandPower(blockPower)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.rhs {
+		t.rhs[i] = t.cdt[i]*t.rise[i] + pn[i]
+	}
+	if err := t.lu.Solve(t.rise, t.rhs); err != nil {
+		return nil, fmt.Errorf("thermal: transient step failed: %w", err)
+	}
+	return t.Temps(), nil
+}
+
+// Temps returns the current node temperatures in °C.
+func (t *Transient) Temps() []float64 {
+	out := make([]float64, len(t.rise))
+	for i, r := range t.rise {
+		out[i] = r + t.m.Params.AmbientC
+	}
+	return out
+}
+
+// SetTemps overwrites the integrator state with the given node
+// temperatures (°C).
+func (t *Transient) SetTemps(tempsC []float64) error {
+	if len(tempsC) != len(t.rise) {
+		return fmt.Errorf("thermal: SetTemps got %d entries, want %d", len(tempsC), len(t.rise))
+	}
+	for i := range t.rise {
+		t.rise[i] = tempsC[i] - t.m.Params.AmbientC
+	}
+	return nil
+}
+
+// StepRK4 advances node temperatures (°C) by dt using classical
+// Runge-Kutta with automatic substepping chosen from the Gershgorin bound
+// on the system's eigenvalues. It is an independent explicit integrator
+// used to cross-validate the implicit Euler path in tests; it allocates
+// per call and is not meant for long production runs.
+func (m *Model) StepRK4(tempsC []float64, blockPower []float64, dt float64) ([]float64, error) {
+	if len(tempsC) != m.NumNodes {
+		return nil, fmt.Errorf("thermal: StepRK4 got %d temps, want %d", len(tempsC), m.NumNodes)
+	}
+	pn, err := m.ExpandPower(blockPower)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumNodes
+	rise := make([]float64, n)
+	for i := range rise {
+		rise[i] = tempsC[i] - m.Params.AmbientC
+	}
+	// deriv computes dT/dt = C^{-1} (P - G·T).
+	gt := make([]float64, n)
+	deriv := func(dst, t []float64) {
+		m.G.MulVec(gt, t)
+		for i := 0; i < n; i++ {
+			dst[i] = (pn[i] - gt[i]) / m.C[i]
+		}
+	}
+	// Stability: |lambda|_max <= max_i (sum_j |G_ij|) / C_i. RK4's real
+	// stability interval is ~2.78/|lambda|; use half for safety.
+	lmax := 0.0
+	dense := m.G.ToDense()
+	for i := 0; i < n; i++ {
+		row := dense.Row(i)
+		s := 0.0
+		for _, v := range row {
+			if v < 0 {
+				s -= v
+			} else {
+				s += v
+			}
+		}
+		if l := s / m.C[i]; l > lmax {
+			lmax = l
+		}
+	}
+	sub := dt
+	if lmax > 0 {
+		maxStep := 1.39 / lmax
+		if sub > maxStep {
+			sub = maxStep
+		}
+	}
+	steps := int(dt/sub) + 1
+	h := dt / float64(steps)
+
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		deriv(k1, rise)
+		for i := range tmp {
+			tmp[i] = rise[i] + h/2*k1[i]
+		}
+		deriv(k2, tmp)
+		for i := range tmp {
+			tmp[i] = rise[i] + h/2*k2[i]
+		}
+		deriv(k3, tmp)
+		for i := range tmp {
+			tmp[i] = rise[i] + h*k3[i]
+		}
+		deriv(k4, tmp)
+		for i := range rise {
+			rise[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rise[i] + m.Params.AmbientC
+	}
+	return out, nil
+}

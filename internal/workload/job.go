@@ -1,0 +1,74 @@
+package workload
+
+import "fmt"
+
+// Job is one schedulable unit of work (a software thread burst in the
+// paper's Solaris dispatcher model).
+type Job struct {
+	ID int
+	// ArrivalS is the arrival time in seconds from simulation start.
+	ArrivalS float64
+	// WorkS is the CPU time in seconds the job needs at the default
+	// (highest) frequency.
+	WorkS float64
+	// MemActivity in [0,1] is the job's cache/memory traffic factor.
+	MemActivity float64
+	// FPIntensity in [0,1] is the job's floating-point density.
+	FPIntensity float64
+}
+
+// Validate reports structurally invalid jobs.
+func (j Job) Validate() error {
+	if j.ArrivalS < 0 {
+		return fmt.Errorf("workload: job %d has negative arrival %g", j.ID, j.ArrivalS)
+	}
+	if j.WorkS <= 0 {
+		return fmt.Errorf("workload: job %d has non-positive work %g", j.ID, j.WorkS)
+	}
+	if j.MemActivity < 0 || j.MemActivity > 1 {
+		return fmt.Errorf("workload: job %d memory activity %g out of [0,1]", j.ID, j.MemActivity)
+	}
+	if j.FPIntensity < 0 || j.FPIntensity > 1 {
+		return fmt.Errorf("workload: job %d FP intensity %g out of [0,1]", j.ID, j.FPIntensity)
+	}
+	return nil
+}
+
+// ValidateJobs checks a whole trace: individual validity plus sorted,
+// non-negative arrivals and unique IDs.
+func ValidateJobs(jobs []Job) error {
+	seen := make(map[int]bool, len(jobs))
+	prev := 0.0
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("workload: duplicate job id %d", j.ID)
+		}
+		seen[j.ID] = true
+		if j.ArrivalS < prev {
+			return fmt.Errorf("workload: jobs not sorted by arrival at index %d", i)
+		}
+		prev = j.ArrivalS
+	}
+	return nil
+}
+
+// TotalWorkS sums the CPU demand of a trace.
+func TotalWorkS(jobs []Job) float64 {
+	s := 0.0
+	for _, j := range jobs {
+		s += j.WorkS
+	}
+	return s
+}
+
+// OfferedLoad returns the average per-core utilization a trace demands
+// from a machine with numCores cores over the given duration.
+func OfferedLoad(jobs []Job, numCores int, durationS float64) float64 {
+	if numCores <= 0 || durationS <= 0 {
+		return 0
+	}
+	return TotalWorkS(jobs) / (float64(numCores) * durationS)
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace file format: CSV with header "id,arrival_s,work_s,mem,fp".
+// Deterministic replay of the same trace across every policy is what
+// makes the paper's policy comparison fair; serializing traces lets the
+// benchmark harness and external tools share workloads.
+
+var traceHeader = []string{"id", "arrival_s", "work_s", "mem", "fp"}
+
+// WriteTrace serializes jobs as CSV.
+func WriteTrace(w io.Writer, jobs []Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	rec := make([]string, 5)
+	for _, j := range jobs {
+		rec[0] = strconv.Itoa(j.ID)
+		rec[1] = strconv.FormatFloat(j.ArrivalS, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(j.WorkS, 'g', -1, 64)
+		rec[3] = strconv.FormatFloat(j.MemActivity, 'g', -1, 64)
+		rec[4] = strconv.FormatFloat(j.FPIntensity, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace and validates it.
+func ReadTrace(r io.Reader) ([]Job, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	for i, h := range traceHeader {
+		if head[i] != h {
+			return nil, fmt.Errorf("workload: unexpected trace header column %d: %q", i, head[i])
+		}
+	}
+	var jobs []Job
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading trace line %d: %w", line, err)
+		}
+		var j Job
+		if j.ID, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d id: %w", line, err)
+		}
+		fields := []*float64{&j.ArrivalS, &j.WorkS, &j.MemActivity, &j.FPIntensity}
+		for fi, dst := range fields {
+			if *dst, err = strconv.ParseFloat(rec[fi+1], 64); err != nil {
+				return nil, fmt.Errorf("workload: trace line %d column %s: %w", line, traceHeader[fi+1], err)
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	if err := ValidateJobs(jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
