@@ -194,17 +194,55 @@ func BenchmarkFig6_ThermalCycles(b *testing.B) {
 	printFigure("Fig. 6 (cycles %, with DPM; reduced sweep)", renderMatrixHotspots(m, "cyc"))
 }
 
-// BenchmarkThermalSteadyState measures one steady-state solve of the
-// EXP-4 block network.
-func BenchmarkThermalSteadyState(b *testing.B) {
+// corePower builds the 3 W-per-core power vector used by the solver
+// benchmarks.
+func corePower(s *floorplan.Stack) []float64 {
+	p := make([]float64, s.NumBlocks())
+	for _, c := range s.Cores() {
+		p[s.BlockIndex(c)] = 3
+	}
+	return p
+}
+
+// benchSteadyState measures one steady-state solve of the EXP-4 block
+// network on the given solver path. For the dense and uncached sparse
+// kinds each iteration pays the full factorization, exactly like the
+// seed's per-run cost; the cached kind factors once and back-solves.
+func benchSteadyState(b *testing.B, kind thermal.SolverKind) {
+	b.Helper()
+	thermal.ResetFactorCache()
 	s := floorplan.MustBuild(floorplan.EXP4)
 	m, err := thermal.NewBlockModel(s, thermal.DefaultParams())
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, s.NumBlocks())
-	for _, c := range s.Cores() {
-		p[s.BlockIndex(c)] = 3
+	p := corePower(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyStateWith(p, kind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThermalSteadyStateDense(b *testing.B)  { benchSteadyState(b, thermal.SolverDense) }
+func BenchmarkThermalSteadyStateSparse(b *testing.B) { benchSteadyState(b, thermal.SolverSparse) }
+func BenchmarkThermalSteadyStateCached(b *testing.B) { benchSteadyState(b, thermal.SolverCached) }
+
+// BenchmarkThermalSteadyStateGridCached solves a 32x32 grid-mode EXP-4
+// network (>5000 nodes) on the cached sparse path, factorization
+// prewarmed; the dense counterpart would be an O(n³) factorization per
+// solve and is deliberately omitted.
+func BenchmarkThermalSteadyStateGridCached(b *testing.B) {
+	thermal.ResetFactorCache()
+	s := floorplan.MustBuild(floorplan.EXP4)
+	m, err := thermal.NewGridModel(s, thermal.DefaultParams(), 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := corePower(s)
+	if _, err := m.SteadyState(p); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -214,19 +252,20 @@ func BenchmarkThermalSteadyState(b *testing.B) {
 	}
 }
 
-// BenchmarkThermalTransientStep measures one implicit-Euler step of the
-// EXP-4 block network (the per-tick cost of the simulator).
-func BenchmarkThermalTransientStep(b *testing.B) {
+// benchTransientStep measures one implicit-Euler step of the EXP-4 block
+// network (the per-tick cost of the simulator); the factorization is
+// built once outside the loop for every kind, so this isolates the pure
+// per-step solve cost of dense LU vs sparse LDLᵀ back-substitution.
+func benchTransientStep(b *testing.B, kind thermal.SolverKind) {
+	b.Helper()
+	thermal.ResetFactorCache()
 	s := floorplan.MustBuild(floorplan.EXP4)
 	m, _ := thermal.NewBlockModel(s, thermal.DefaultParams())
-	tr, err := m.NewTransient(0.1, nil)
+	tr, err := m.NewTransientWith(0.1, nil, kind)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, s.NumBlocks())
-	for _, c := range s.Cores() {
-		p[s.BlockIndex(c)] = 3
-	}
+	p := corePower(s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Step(p); err != nil {
@@ -234,6 +273,56 @@ func BenchmarkThermalTransientStep(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkThermalTransientStepDense(b *testing.B)  { benchTransientStep(b, thermal.SolverDense) }
+func BenchmarkThermalTransientStepSparse(b *testing.B) { benchTransientStep(b, thermal.SolverSparse) }
+
+// BenchmarkThermalTransientSetup measures integrator construction (the
+// per-run factorization cost the cache amortizes across a sweep): dense
+// refactors per call, cached hits the shared factorization.
+func benchTransientSetup(b *testing.B, kind thermal.SolverKind) {
+	b.Helper()
+	thermal.ResetFactorCache()
+	s := floorplan.MustBuild(floorplan.EXP4)
+	m, _ := thermal.NewBlockModel(s, thermal.DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.NewTransientWith(0.1, nil, kind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThermalTransientSetupDense(b *testing.B)  { benchTransientSetup(b, thermal.SolverDense) }
+func BenchmarkThermalTransientSetupSparse(b *testing.B) { benchTransientSetup(b, thermal.SolverSparse) }
+func BenchmarkThermalTransientSetupCached(b *testing.B) { benchTransientSetup(b, thermal.SolverCached) }
+
+// benchSweep runs a reduced policy x benchmark sweep on EXP-3 and EXP-4
+// per iteration — the structure of the paper's figure sweeps — on the
+// given solver path. The cache is reset once before the loop, so the
+// cached kind reflects sweep-scale reuse while the others pay their
+// factorizations inside every run.
+func benchSweep(b *testing.B, kind thermal.SolverKind) {
+	b.Helper()
+	thermal.ResetFactorCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(exp.MatrixConfig{
+			Exps:       []floorplan.Experiment{floorplan.EXP3, floorplan.EXP4},
+			Benchmarks: []string{"Web-med"},
+			Policies:   []string{"Default", "Adapt3D"},
+			DurationS:  10,
+			Seed:       1,
+			Solver:     kind,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepDense(b *testing.B)  { benchSweep(b, thermal.SolverDense) }
+func BenchmarkSweepSparse(b *testing.B) { benchSweep(b, thermal.SolverSparse) }
+func BenchmarkSweepCached(b *testing.B) { benchSweep(b, thermal.SolverCached) }
 
 // BenchmarkSimulatedSecond measures full simulator throughput: one
 // simulated second (10 ticks) of EXP-3 under Adapt3D per iteration.

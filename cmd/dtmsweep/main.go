@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/report"
+	"repro/internal/thermal"
 )
 
 func main() {
@@ -31,13 +32,25 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "random seed")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	benchFlag := flag.String("benchmarks", "", "comma-separated Table I benchmark names (default: representative mix)")
+	solverFlag := flag.String("solver", "cached", "thermal solver path: cached (sparse direct, shared factorizations), sparse, or dense")
+	statsFlag := flag.Bool("solverstats", false, "print thermal factorization cache statistics after the sweep")
 	flag.Parse()
 
-	f := exp.FigureConfig{DurationS: *durFlag, Seed: *seedFlag}
+	solver, err := thermal.ParseSolverKind(*solverFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := exp.FigureConfig{DurationS: *durFlag, Seed: *seedFlag, Solver: solver}
 	if *benchFlag != "" {
 		f.Benchmarks = strings.Split(*benchFlag, ",")
 	}
 	w := os.Stdout
+	defer func() {
+		if *statsFlag {
+			entries, hits, misses := thermal.FactorCacheStats()
+			fmt.Fprintf(os.Stderr, "thermal factor cache: %d entries, %d hits, %d factorizations\n", entries, hits, misses)
+		}
+	}()
 
 	render := func(t *report.Table) {
 		var err error

@@ -21,6 +21,9 @@ type FigureConfig struct {
 	// Exps overrides the default (all four for Figs 3-5; EXP-1/EXP-3 for
 	// Fig 6, as in the paper).
 	Exps []floorplan.Experiment
+	// Solver selects the thermal linear-solve path (default: shared-cache
+	// sparse direct).
+	Solver thermal.SolverKind
 }
 
 // TableIReport renders Table I (workload characteristics) together with
@@ -78,6 +81,7 @@ func (f FigureConfig) matrix(useDPM bool) (*Matrix, error) {
 		UseDPM:     useDPM,
 		DurationS:  f.DurationS,
 		Seed:       f.Seed,
+		Solver:     f.Solver,
 	})
 }
 

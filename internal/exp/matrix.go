@@ -8,6 +8,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -26,6 +27,9 @@ type MatrixConfig struct {
 	DurationS float64
 	// Seed drives trace generation and stochastic policies.
 	Seed int64
+	// Solver selects the thermal linear-solve path for every run; the
+	// zero value is the shared-cache sparse path (thermal.SolverCached).
+	Solver thermal.SolverKind
 }
 
 // DefaultBenchmarks is the workload mix driving the figure sweeps: four
@@ -138,12 +142,22 @@ func Run(cfg MatrixConfig) (*Matrix, error) {
 		benches = append(benches, br)
 	}
 
+	// Warm the shared thermal factorization cache once per experiment:
+	// every (policy, benchmark) run on a stack reuses the same
+	// steady-state and transient factorizations, so factoring them before
+	// the pool keeps the workers from all blocking on the first run.
+	for _, e := range cfg.Exps {
+		if err := sim.Prewarm(sim.Config{Exp: e, DurationS: cfg.DurationS, Solver: cfg.Solver}); err != nil {
+			return nil, fmt.Errorf("exp: prewarm %v: %w", e, err)
+		}
+	}
+
 	runOne := func(policyName string, e floorplan.Experiment, br *benchRun) (*sim.Result, error) {
 		stack, err := floorplan.Build(e)
 		if err != nil {
 			return nil, err
 		}
-		pol, err := BuildPolicy(policyName, stack, cfg.Seed)
+		pol, err := BuildPolicyWith(policyName, stack, cfg.Seed, cfg.Solver)
 		if err != nil {
 			return nil, err
 		}
@@ -154,6 +168,7 @@ func Run(cfg MatrixConfig) (*Matrix, error) {
 			Jobs:      br.jobs[stack.NumCores()],
 			DurationS: cfg.DurationS,
 			Seed:      cfg.Seed,
+			Solver:    cfg.Solver,
 		})
 	}
 

@@ -33,6 +33,13 @@ var PolicyOrder = []string{
 // thermal model, and the three hybrid policies of Section III-C. Every
 // stochastic policy gets a deterministic seed derived from seed.
 func BuildPolicySet(stack *floorplan.Stack, seed int64) ([]policy.Policy, error) {
+	return BuildPolicySetWith(stack, seed, thermal.SolverCached)
+}
+
+// BuildPolicySetWith is BuildPolicySet with an explicit thermal solver
+// path for the Adapt3D offline index solves, so a dense-reference sweep
+// never touches the sparse factorization cache.
+func BuildPolicySetWith(stack *floorplan.Stack, seed int64, solver thermal.SolverKind) ([]policy.Policy, error) {
 	model, err := thermal.NewBlockModel(stack, thermal.DefaultParams())
 	if err != nil {
 		return nil, err
@@ -44,6 +51,7 @@ func BuildPolicySet(stack *floorplan.Stack, seed int64) ([]policy.Policy, error)
 	mkAdapt := func(s int64) (*core.Adapt3D, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = s
+		cfg.Solver = solver
 		return core.NewWithModel(stack, model, cfg)
 	}
 	a3d, err := mkAdapt(seed + 1)
@@ -76,7 +84,12 @@ func BuildPolicySet(stack *floorplan.Stack, seed int64) ([]policy.Policy, error)
 
 // BuildPolicy constructs a single policy by name (for cmd/dtmsim).
 func BuildPolicy(name string, stack *floorplan.Stack, seed int64) (policy.Policy, error) {
-	set, err := BuildPolicySet(stack, seed)
+	return BuildPolicyWith(name, stack, seed, thermal.SolverCached)
+}
+
+// BuildPolicyWith is BuildPolicy with an explicit thermal solver path.
+func BuildPolicyWith(name string, stack *floorplan.Stack, seed int64, solver thermal.SolverKind) (policy.Policy, error) {
+	set, err := BuildPolicySetWith(stack, seed, solver)
 	if err != nil {
 		return nil, err
 	}

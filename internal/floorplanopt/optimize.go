@@ -68,7 +68,10 @@ func PeakSteadyTemp(params thermal.Params) Objective {
 		for _, c := range s.Cores() {
 			pw[s.BlockIndex(c)] = 3
 		}
-		temps, err := m.SteadyState(pw)
+		// Every candidate ordering has a distinct conductance matrix that
+		// is solved exactly once, so factor privately rather than filling
+		// the process-wide cache with single-use entries.
+		temps, err := m.SteadyStateWith(pw, thermal.SolverSparse)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,312 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPDSystem builds a random symmetric diagonally dominant sparse
+// system shaped like an RC conductance network: a random connected graph
+// with positive conductance stamps plus a few ground conductances.
+func randSPDSystem(rng *rand.Rand, n, extraEdges int) *Sparse {
+	sb := NewSparseBuilder(n)
+	// Spanning path guarantees connectivity.
+	for i := 0; i+1 < n; i++ {
+		sb.StampConductance(i, i+1, 0.1+rng.Float64())
+	}
+	for e := 0; e < extraEdges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		sb.StampConductance(i, j, 0.1+rng.Float64())
+	}
+	// Ground a handful of nodes so the system is nonsingular.
+	for g := 0; g < 1+n/8; g++ {
+		sb.StampGroundConductance(rng.Intn(n), 0.5+rng.Float64())
+	}
+	return sb.Build()
+}
+
+// TestCholeskyMatchesDense cross-validates the sparse LDLᵀ path against
+// the dense LU reference on seeded random SPD systems of varying size
+// and density, for both the RCM and natural orderings.
+func TestCholeskyMatchesDense(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, extra   int
+		seed       int64
+		factor     func(*Sparse) (*Cholesky, error)
+		iterations int
+	}{
+		{"path-tiny", 5, 0, 1, FactorCholesky, 3},
+		{"sparse-small", 20, 10, 2, FactorCholesky, 3},
+		{"sparse-mid", 60, 50, 3, FactorCholesky, 3},
+		{"dense-ish", 40, 300, 4, FactorCholesky, 3},
+		{"natural-order", 30, 25, 5, FactorCholeskyNatural, 3},
+		{"rcm-order", 30, 25, 5, FactorCholeskyRCM, 3},
+		{"large", 200, 180, 6, FactorCholesky, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			for it := 0; it < tc.iterations; it++ {
+				s := randSPDSystem(rng, tc.n, tc.extra)
+				f, err := tc.factor(s)
+				if err != nil {
+					t.Fatalf("FactorCholesky: %v", err)
+				}
+				b := make([]float64, tc.n)
+				for i := range b {
+					b[i] = rng.NormFloat64()
+				}
+				x := make([]float64, tc.n)
+				if err := f.Solve(x, b); err != nil {
+					t.Fatalf("Solve: %v", err)
+				}
+				want, err := SolveDense(s.ToDense(), b)
+				if err != nil {
+					t.Fatalf("SolveDense: %v", err)
+				}
+				for i := range x {
+					if d := math.Abs(x[i] - want[i]); d > 1e-8 {
+						t.Fatalf("iteration %d: x[%d] sparse %g dense %g (|Δ|=%g)", it, i, x[i], want[i], d)
+					}
+				}
+				// Residual check keeps the comparison honest even if
+				// both paths drifted together.
+				ax := make([]float64, tc.n)
+				s.MulVec(ax, x)
+				for i := range ax {
+					if d := math.Abs(ax[i] - b[i]); d > 1e-8*(1+math.Abs(b[i])) {
+						t.Fatalf("iteration %d: residual %g at row %d", it, d, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCholeskySolveAliased verifies x and b may alias, matching the LU
+// contract the transient integrator relies on.
+func TestCholeskySolveAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randSPDSystem(rng, 25, 20)
+	f, err := FactorCholesky(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 25)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 25)
+	if err := f.Solve(want, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve(b, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("aliased solve differs at %d: %g vs %g", i, b[i], want[i])
+		}
+	}
+}
+
+// TestCholeskySolveMulti checks the multi-RHS path against per-vector
+// solves.
+func TestCholeskySolveMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, k = 30, 4
+	s := randSPDSystem(rng, n, 25)
+	f, err := FactorCholesky(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([][]float64, k)
+	want := make([][]float64, k)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		want[c] = make([]float64, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.NormFloat64()
+		}
+		if err := f.Solve(want[c], cols[c]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SolveMulti(cols); err != nil {
+		t.Fatal(err)
+	}
+	for c := range cols {
+		for i := range cols[c] {
+			if cols[c][i] != want[c][i] {
+				t.Fatalf("column %d row %d: multi %g single %g", c, i, cols[c][i], want[c][i])
+			}
+		}
+	}
+}
+
+// TestCholeskyRejectsIndefinite ensures a non-PD matrix is reported
+// rather than silently mis-factored.
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	sb := NewSparseBuilder(2)
+	sb.Add(0, 0, 1)
+	sb.Add(1, 1, -1)
+	s := sb.Build()
+	if _, err := FactorCholesky(s); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+// TestAddDiag checks AddDiag against dense addition, including rows with
+// a missing diagonal entry.
+func TestAddDiag(t *testing.T) {
+	sb := NewSparseBuilder(4)
+	sb.StampConductance(0, 1, 2)
+	sb.Add(2, 3, 1) // row 2 and 3 have no diagonal
+	sb.Add(3, 2, 1)
+	s := sb.Build()
+	d := []float64{10, 20, 30, 40}
+	got := s.AddDiag(d).ToDense()
+	want := s.ToDense()
+	for i := range d {
+		want.Add(i, i, d[i])
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("AddDiag mismatch at (%d,%d): %g vs %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestRowAbsSums cross-checks against the dense Gershgorin helper.
+func TestRowAbsSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := randSPDSystem(rng, 15, 10)
+	sums := s.RowAbsSums()
+	d := s.ToDense()
+	for i := 0; i < s.N; i++ {
+		r := 0.0
+		for _, v := range d.Row(i) {
+			r += math.Abs(v)
+		}
+		if math.Abs(r-sums[i]) > 1e-12 {
+			t.Fatalf("row %d: sparse %g dense %g", i, sums[i], r)
+		}
+	}
+}
+
+// TestOrderingsArePermutations validates RCM and MinDegree on
+// disconnected graphs.
+func TestOrderingsArePermutations(t *testing.T) {
+	sb := NewSparseBuilder(9)
+	// Two components plus an isolated grounded vertex.
+	sb.StampConductance(0, 1, 1)
+	sb.StampConductance(1, 2, 1)
+	sb.StampConductance(3, 4, 1)
+	sb.StampConductance(4, 5, 1)
+	sb.StampConductance(5, 6, 1)
+	sb.StampConductance(6, 7, 1)
+	sb.StampGroundConductance(8, 1)
+	s := sb.Build()
+	for name, order := range map[string]func(*Sparse) []int{"RCM": RCM, "MinDegree": MinDegree} {
+		perm := order(s)
+		if len(perm) != 9 {
+			t.Fatalf("%s: perm has %d entries, want 9", name, len(perm))
+		}
+		seen := make([]bool, 9)
+		for _, p := range perm {
+			if p < 0 || p >= 9 || seen[p] {
+				t.Fatalf("%s: invalid permutation %v", name, perm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestMinDegreeBoundsHubFill checks that minimum degree keeps fill low
+// on a hub topology: a grid whose cells all couple to a few hub nodes,
+// the structure of a thermal network's package coupling. RCM degrades
+// here; MinDegree must keep nnz(L) within a small multiple of nnz(A).
+func TestMinDegreeBoundsHubFill(t *testing.T) {
+	const rows, cols, hubs = 24, 24, 5
+	n := rows*cols + hubs
+	sb := NewSparseBuilder(n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				sb.StampConductance(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				sb.StampConductance(id(r, c), id(r+1, c), 1)
+			}
+			for h := 0; h < hubs; h++ {
+				sb.StampConductance(id(r, c), rows*cols+h, 0.5)
+			}
+		}
+	}
+	sb.StampGroundConductance(rows*cols, 1)
+	s := sb.Build()
+	f, err := FactorCholesky(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := 4 * s.NNZ(); f.NNZ() > limit {
+		t.Fatalf("minimum-degree fill too high: nnz(L)=%d, nnz(A)=%d", f.NNZ(), s.NNZ())
+	}
+}
+
+func BenchmarkCholeskyFactorGrid(b *testing.B) {
+	s := gridLaplacian(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorCholesky(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolveGrid(b *testing.B) {
+	s := gridLaplacian(32, 32)
+	f, err := FactorCholesky(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, s.N)
+	x := make([]float64, s.N)
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Solve(x, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gridLaplacian builds a grounded 5-point Laplacian, the sparsity shape
+// of grid-mode thermal layers.
+func gridLaplacian(rows, cols int) *Sparse {
+	sb := NewSparseBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				sb.StampConductance(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				sb.StampConductance(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	sb.StampGroundConductance(id(0, 0), 1)
+	sb.StampGroundConductance(id(rows-1, cols-1), 1)
+	return sb.Build()
+}

@@ -107,6 +107,59 @@ func (s *Sparse) MulVec(dst, x []float64) {
 	}
 }
 
+// AddDiag returns a new sparse matrix equal to s plus diag(d). Rows whose
+// diagonal entry is absent from s gain one. s is not modified; the result
+// shares no storage with s. It is how the transient integrator forms
+// C/dt + G without densifying.
+func (s *Sparse) AddDiag(d []float64) *Sparse {
+	if len(d) != s.N {
+		panic(fmt.Sprintf("linalg: AddDiag dimension mismatch n=%d d=%d", s.N, len(d)))
+	}
+	out := &Sparse{
+		N:      s.N,
+		RowPtr: make([]int, s.N+1),
+		Col:    make([]int, 0, s.NNZ()+s.N),
+		Val:    make([]float64, 0, s.NNZ()+s.N),
+	}
+	for i := 0; i < s.N; i++ {
+		placed := false
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			c, v := s.Col[k], s.Val[k]
+			if !placed && c >= i {
+				if c == i {
+					v += d[i]
+				} else {
+					out.Col = append(out.Col, i)
+					out.Val = append(out.Val, d[i])
+				}
+				placed = true
+			}
+			out.Col = append(out.Col, c)
+			out.Val = append(out.Val, v)
+		}
+		if !placed {
+			out.Col = append(out.Col, i)
+			out.Val = append(out.Val, d[i])
+		}
+		out.RowPtr[i+1] = len(out.Col)
+	}
+	return out
+}
+
+// RowAbsSums returns per-row sums of absolute values, the Gershgorin
+// disc extents used to bound the spectral radius without densifying.
+func (s *Sparse) RowAbsSums() []float64 {
+	sums := make([]float64, s.N)
+	for i := 0; i < s.N; i++ {
+		r := 0.0
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			r += math.Abs(s.Val[k])
+		}
+		sums[i] = r
+	}
+	return sums
+}
+
 // Diag extracts the diagonal of s into a new slice.
 func (s *Sparse) Diag() []float64 {
 	d := make([]float64, s.N)

@@ -63,6 +63,13 @@ type Config struct {
 	// are positive; block mode otherwise.
 	GridRows, GridCols int
 
+	// Solver selects the thermal linear-solve path. The zero value is
+	// thermal.SolverCached: sparse direct factorizations shared across
+	// every run with the same stack geometry and parameters, which is
+	// what makes large policy x floorplan sweeps cheap. SolverSparse
+	// factors privately; SolverDense is the O(n³) reference path.
+	Solver thermal.SolverKind
+
 	// MigrationCostS is the per-migration penalty (default 1 ms).
 	MigrationCostS float64
 

@@ -42,27 +42,70 @@ type Result struct {
 	FinalBlockTempsC []float64
 }
 
+// buildThermal constructs the floorplan stack and thermal model for an
+// already-defaulted config. Run and Prewarm share it so a prewarmed
+// factorization is guaranteed to match the one Run would build.
+func buildThermal(cfg Config) (*floorplan.Stack, *thermal.Model, error) {
+	stack := cfg.CustomStack
+	if stack == nil {
+		var err error
+		stack, err = floorplan.BuildWithResistivity(cfg.Exp, cfg.JointResistivityMKW)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if err := stack.Finalize(); err != nil {
+		return nil, nil, fmt.Errorf("sim: custom stack invalid: %w", err)
+	}
+	var (
+		model *thermal.Model
+		err   error
+	)
+	if cfg.GridRows > 0 && cfg.GridCols > 0 {
+		model, err = thermal.NewGridModel(stack, *cfg.Thermal, cfg.GridRows, cfg.GridCols)
+	} else {
+		model, err = thermal.NewBlockModel(stack, *cfg.Thermal)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return stack, model, nil
+}
+
+// Prewarm builds cfg's thermal model and factors its steady-state and
+// transient systems into the shared thermal factorization cache, so a
+// worker pool about to execute many Run calls over the same stack starts
+// from warm factorizations instead of racing to build the first one.
+// cfg.Policy may be nil; only the thermal-model-relevant fields matter.
+func Prewarm(cfg Config) error {
+	if cfg.Policy == nil {
+		cfg.Policy = policy.NewDefault()
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	if cfg.Solver != thermal.SolverCached {
+		return nil // nothing shareable to warm
+	}
+	_, model, err := buildThermal(cfg)
+	if err != nil {
+		return err
+	}
+	idle := make([]float64, model.NumBlocks())
+	if _, err := model.SteadyState(idle); err != nil {
+		return err
+	}
+	_, err = model.NewTransient(cfg.TickS, nil)
+	return err
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	stack := cfg.CustomStack
-	if stack == nil {
-		stack, err = floorplan.BuildWithResistivity(cfg.Exp, cfg.JointResistivityMKW)
-		if err != nil {
-			return nil, err
-		}
-	} else if err := stack.Finalize(); err != nil {
-		return nil, fmt.Errorf("sim: custom stack invalid: %w", err)
-	}
-	var model *thermal.Model
-	if cfg.GridRows > 0 && cfg.GridCols > 0 {
-		model, err = thermal.NewGridModel(stack, *cfg.Thermal, cfg.GridRows, cfg.GridCols)
-	} else {
-		model, err = thermal.NewBlockModel(stack, *cfg.Thermal)
-	}
+	stack, model, err := buildThermal(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +150,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nodeTemps, err := model.SteadyState(blockPower)
+	nodeTemps, err := model.SteadyStateWith(blockPower, cfg.Solver)
 	if err != nil {
 		return nil, err
 	}
@@ -115,11 +158,11 @@ func Run(cfg Config) (*Result, error) {
 	if blockPower, err = cfg.Power.Compute(stack, idleIn); err != nil {
 		return nil, err
 	}
-	if nodeTemps, err = model.SteadyState(blockPower); err != nil {
+	if nodeTemps, err = model.SteadyStateWith(blockPower, cfg.Solver); err != nil {
 		return nil, err
 	}
 
-	tr, err := model.NewTransient(cfg.TickS, nodeTemps)
+	tr, err := model.NewTransientWith(cfg.TickS, nodeTemps, cfg.Solver)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,181 @@
+package thermal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+)
+
+// SolverKind selects the linear-solve path for steady-state and
+// transient temperature computations.
+type SolverKind int
+
+const (
+	// SolverCached factors the sparse conductance system once per unique
+	// (stack geometry, parameters, time step) and shares the
+	// factorization process-wide. This is the default: a policy x
+	// floorplan x benchmark sweep runs hundreds of simulations over the
+	// same four stacks, and every one of them reuses the same handful of
+	// factorizations. Entries are retained for the life of the process
+	// (see ResetFactorCache), so callers that solve each geometry exactly
+	// once — e.g. a search over candidate floorplans — should use
+	// SolverSparse instead of filling the cache with single-use entries.
+	SolverCached SolverKind = iota
+	// SolverSparse factors the sparse system privately, without
+	// consulting the cache (isolated runs, cache-behaviour tests).
+	SolverSparse
+	// SolverDense densifies the conductance matrix and LU-factors it —
+	// the seed's original O(n³) path, kept as the cross-validation
+	// reference and benchmark baseline.
+	SolverDense
+)
+
+// String returns the flag-friendly name of the solver kind.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverCached:
+		return "cached"
+	case SolverSparse:
+		return "sparse"
+	case SolverDense:
+		return "dense"
+	}
+	return fmt.Sprintf("SolverKind(%d)", int(k))
+}
+
+// ParseSolverKind converts a flag value ("cached", "sparse", "dense")
+// to a SolverKind.
+func ParseSolverKind(s string) (SolverKind, error) {
+	switch s {
+	case "cached", "":
+		return SolverCached, nil
+	case "sparse":
+		return SolverSparse, nil
+	case "dense":
+		return SolverDense, nil
+	}
+	return 0, fmt.Errorf("thermal: unknown solver kind %q (want cached, sparse, or dense)", s)
+}
+
+// factorCache shares sparse factorizations across models and goroutines.
+// Keys are content fingerprints of the factored matrix, so two Model
+// instances built independently from the same stack geometry and
+// parameters (as the sweep worker pool does) hit the same entry. Each
+// entry factors exactly once even under concurrent first access.
+type factorCache struct {
+	entries sync.Map // string -> *factorEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type factorEntry struct {
+	once sync.Once
+	chol *linalg.Cholesky
+	err  error
+}
+
+var sharedFactors factorCache
+
+// get returns the factorization for key, building it at most once.
+func (c *factorCache) get(key string, build func() (*linalg.Cholesky, error)) (*linalg.Cholesky, error) {
+	e, loaded := c.entries.LoadOrStore(key, &factorEntry{})
+	entry := e.(*factorEntry)
+	entry.once.Do(func() {
+		c.misses.Add(1)
+		entry.chol, entry.err = build()
+	})
+	if loaded {
+		c.hits.Add(1)
+	}
+	return entry.chol, entry.err
+}
+
+// FactorCacheStats reports the shared factorization cache counters:
+// entries currently cached, lookup hits, and factorizations performed.
+func FactorCacheStats() (entries int, hits, misses int64) {
+	sharedFactors.entries.Range(func(_, _ any) bool {
+		entries++
+		return true
+	})
+	return entries, sharedFactors.hits.Load(), sharedFactors.misses.Load()
+}
+
+// ResetFactorCache drops every cached factorization and zeroes the
+// counters (tests and cold-path benchmarks).
+func ResetFactorCache() {
+	sharedFactors.entries.Range(func(k, _ any) bool {
+		sharedFactors.entries.Delete(k)
+		return true
+	})
+	sharedFactors.hits.Store(0)
+	sharedFactors.misses.Store(0)
+}
+
+// fingerprint returns a content hash of the model's conductance system —
+// matrix structure, values, and capacitances — which identifies the
+// stack geometry plus thermal parameters exactly: any change to either
+// changes some conductance or capacitance and therefore the key.
+func (m *Model) fingerprint() string {
+	m.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeInt := func(v int) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		writeFloat := func(v float64) {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+		writeInt(m.G.N)
+		for _, p := range m.G.RowPtr {
+			writeInt(p)
+		}
+		for _, c := range m.G.Col {
+			writeInt(c)
+		}
+		for _, v := range m.G.Val {
+			writeFloat(v)
+		}
+		for _, c := range m.C {
+			writeFloat(c)
+		}
+		m.fp = string(h.Sum(nil))
+	})
+	return m.fp
+}
+
+// steadyFactor returns the sparse factorization of G, shared through the
+// cache when kind is SolverCached.
+func (m *Model) steadyFactor(kind SolverKind) (*linalg.Cholesky, error) {
+	if kind == SolverSparse {
+		return linalg.FactorCholesky(m.G)
+	}
+	return sharedFactors.get(m.fingerprint(), func() (*linalg.Cholesky, error) {
+		return linalg.FactorCholesky(m.G)
+	})
+}
+
+// transientFactor returns the sparse factorization of C/dt + G for the
+// given step, shared through the cache when kind is SolverCached.
+func (m *Model) transientFactor(dt float64, kind SolverKind) (*linalg.Cholesky, error) {
+	build := func() (*linalg.Cholesky, error) {
+		cdt := make([]float64, m.NumNodes)
+		for i := range cdt {
+			cdt[i] = m.C[i] / dt
+		}
+		return linalg.FactorCholesky(m.G.AddDiag(cdt))
+	}
+	if kind == SolverSparse {
+		return build()
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(dt))
+	key := m.fingerprint() + "|dt|" + string(buf[:])
+	return sharedFactors.get(key, build)
+}

@@ -3,6 +3,7 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/geometry"
@@ -57,6 +58,11 @@ type Model struct {
 	blockReadback map[int]map[int]float64 // block -> node -> weight
 
 	numBlocks int
+
+	// fp memoizes the conductance-system content hash that keys the
+	// shared factorization cache.
+	fpOnce sync.Once
+	fp     string
 }
 
 // NumBlocks returns the number of floorplan blocks the model carries
@@ -329,13 +335,29 @@ func (m *Model) CoreTemps(nodeTemps []float64) []float64 {
 }
 
 // SteadyState solves for the equilibrium temperature (°C per node) under
-// the given per-block power (W).
+// the given per-block power (W), using the shared sparse factorization
+// of G (SolverCached).
 func (m *Model) SteadyState(blockPower []float64) ([]float64, error) {
+	return m.SteadyStateWith(blockPower, SolverCached)
+}
+
+// SteadyStateWith is SteadyState with an explicit solver path, used by
+// cross-validation tests and benchmarks.
+func (m *Model) SteadyStateWith(blockPower []float64, kind SolverKind) ([]float64, error) {
 	pn, err := m.ExpandPower(blockPower)
 	if err != nil {
 		return nil, err
 	}
-	dt, err := linalg.SolveDense(m.G.ToDense(), pn)
+	var dt []float64
+	if kind == SolverDense {
+		dt, err = linalg.SolveDense(m.G.ToDense(), pn)
+	} else {
+		var f *linalg.Cholesky
+		if f, err = m.steadyFactor(kind); err == nil {
+			dt = pn
+			err = f.Solve(dt, pn)
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("thermal: steady-state solve failed: %w", err)
 	}

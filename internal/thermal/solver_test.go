@@ -1,0 +1,198 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// solverModels enumerates the EXP-1..EXP-4 block models plus grid models,
+// the systems the paper's sweeps actually solve.
+func solverModels(t *testing.T) map[string]*Model {
+	t.Helper()
+	out := make(map[string]*Model)
+	for _, e := range floorplan.AllExperiments() {
+		s := floorplan.MustBuild(e)
+		m, err := NewBlockModel(s, DefaultParams())
+		if err != nil {
+			t.Fatalf("block model %v: %v", e, err)
+		}
+		out["block/"+e.String()] = m
+	}
+	for _, e := range []floorplan.Experiment{floorplan.EXP1, floorplan.EXP4} {
+		s := floorplan.MustBuild(e)
+		m, err := NewGridModel(s, DefaultParams(), 8, 8)
+		if err != nil {
+			t.Fatalf("grid model %v: %v", e, err)
+		}
+		out["grid8x8/"+e.String()] = m
+	}
+	return out
+}
+
+// randomPower returns a seeded power vector with cores dissipating a few
+// watts and everything else a small floor.
+func randomPower(m *Model, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]float64, m.NumBlocks())
+	for i := range p {
+		p[i] = 0.1 + 4*rng.Float64()
+	}
+	return p
+}
+
+// TestSteadyStateSparseMatchesDense cross-validates the production
+// sparse+cached steady-state path against the dense LU reference on
+// every experiment's block model and on grid models, within 1e-8.
+func TestSteadyStateSparseMatchesDense(t *testing.T) {
+	for name, m := range solverModels(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				p := randomPower(m, seed)
+				dense, err := m.SteadyStateWith(p, SolverDense)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, kind := range []SolverKind{SolverCached, SolverSparse} {
+					got, err := m.SteadyStateWith(p, kind)
+					if err != nil {
+						t.Fatalf("%v: %v", kind, err)
+					}
+					for i := range got {
+						if d := math.Abs(got[i] - dense[i]); d > 1e-8 {
+							t.Fatalf("%v node %d: sparse %.12f dense %.12f (|Δ|=%.3e)", kind, i, got[i], dense[i], d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransientSparseMatchesDense steps the implicit-Euler integrator
+// with both factorizations from the same initial condition and demands
+// node-for-node agreement within 1e-8 over a power step response.
+func TestTransientSparseMatchesDense(t *testing.T) {
+	for name, m := range solverModels(t) {
+		t.Run(name, func(t *testing.T) {
+			p := randomPower(m, 42)
+			init := m.UniformInit(m.Params.AmbientC + 5)
+			trS, err := m.NewTransientWith(0.1, init, SolverCached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trD, err := m.NewTransientWith(0.1, init, SolverDense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 50; step++ {
+				if step == 25 { // power step halfway through
+					for i := range p {
+						p[i] *= 0.3
+					}
+				}
+				ts, err := trS.Step(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				td, err := trD.Step(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ts {
+					if d := math.Abs(ts[i] - td[i]); d > 1e-8 {
+						t.Fatalf("step %d node %d: sparse %.12f dense %.12f (|Δ|=%.3e)", step, i, ts[i], td[i], d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFactorCacheSharing verifies that two independently built models of
+// the same stack geometry and parameters share one factorization, that a
+// different stack does not, and that concurrent first access factors
+// exactly once.
+func TestFactorCacheSharing(t *testing.T) {
+	ResetFactorCache()
+	t.Cleanup(ResetFactorCache)
+
+	build := func(e floorplan.Experiment) *Model {
+		m, err := NewBlockModel(floorplan.MustBuild(e), DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m2 := build(floorplan.EXP2), build(floorplan.EXP2)
+	p := randomPower(m1, 5)
+	if _, err := m1.SteadyState(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.SteadyState(p); err != nil {
+		t.Fatal(err)
+	}
+	entries, hits, misses := FactorCacheStats()
+	if entries != 1 || misses != 1 || hits != 1 {
+		t.Fatalf("same-geometry models: entries=%d hits=%d misses=%d, want 1/1/1", entries, hits, misses)
+	}
+
+	// A different experiment must key a different factorization.
+	m3 := build(floorplan.EXP3)
+	if _, err := m3.SteadyState(randomPower(m3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _, _ = FactorCacheStats(); entries != 2 {
+		t.Fatalf("different geometry reused a cache entry: entries=%d", entries)
+	}
+
+	// Transient factors key on dt as well.
+	if _, err := m1.NewTransient(0.1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.NewTransient(0.05, nil); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _, _ = FactorCacheStats(); entries != 4 {
+		t.Fatalf("transient dt keys: entries=%d, want 4", entries)
+	}
+
+	// Concurrent first access to a fresh key factors once.
+	ResetFactorCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := build(floorplan.EXP4).SteadyState(p[:0:0]); err == nil {
+				t.Error("expected power-length error") // wrong-length power: solve path untouched
+			}
+			if _, err := build(floorplan.EXP4).NewTransient(0.1, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if entries, _, misses = FactorCacheStats(); entries != 1 || misses != 1 {
+		t.Fatalf("concurrent access: entries=%d misses=%d, want 1/1", entries, misses)
+	}
+}
+
+// TestSolverKindRoundTrip covers the flag parsing helpers.
+func TestSolverKindRoundTrip(t *testing.T) {
+	for _, k := range []SolverKind{SolverCached, SolverSparse, SolverDense} {
+		got, err := ParseSolverKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v err %v", k, got, err)
+		}
+	}
+	if _, err := ParseSolverKind("nope"); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if k, err := ParseSolverKind(""); err != nil || k != SolverCached {
+		t.Fatalf("empty string should default to cached, got %v err %v", k, err)
+	}
+}

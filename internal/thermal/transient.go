@@ -11,14 +11,23 @@ import (
 //
 //	(C/dt + G) T_{k+1} = (C/dt) T_k + P_{k+1}
 //
-// The left-hand matrix is LU-factored once at construction, so each Step
-// costs one triangular solve. This matches how the paper's framework
-// advances HotSpot once per 100 ms sampling interval.
+// The left-hand matrix is factored once — by default with the sparse
+// Cholesky path shared through the process-wide factorization cache, so
+// concurrent sweep runs over the same stack reuse one factorization —
+// and each Step costs one pair of sparse triangular solves. This matches
+// how the paper's framework advances HotSpot once per 100 ms sampling
+// interval.
 type Transient struct {
-	m   *Model
-	dt  float64
-	lu  *linalg.LU
-	cdt []float64 // C/dt per node
+	m      *Model
+	dt     float64
+	solver linalg.Solver
+	// chol aliases solver when it is a sparse factorization; Step then
+	// uses SolveBuffered with the integrator-owned scratch so the
+	// per-tick solve stays allocation-free even though the factorization
+	// itself is shared across goroutines.
+	chol    *linalg.Cholesky
+	scratch []float64
+	cdt     []float64 // C/dt per node
 
 	// state: temperature rise above ambient per node
 	rise []float64
@@ -27,7 +36,14 @@ type Transient struct {
 
 // NewTransient prepares an integrator with time step dt seconds, starting
 // from the node temperatures init (°C); pass nil to start at ambient.
+// The left-hand factorization comes from the shared cache (SolverCached).
 func (m *Model) NewTransient(dt float64, init []float64) (*Transient, error) {
+	return m.NewTransientWith(dt, init, SolverCached)
+}
+
+// NewTransientWith is NewTransient with an explicit solver path, used by
+// cross-validation tests and benchmarks.
+func (m *Model) NewTransientWith(dt float64, init []float64, kind SolverKind) (*Transient, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("thermal: transient step must be positive, got %g", dt)
 	}
@@ -35,23 +51,37 @@ func (m *Model) NewTransient(dt float64, init []float64) (*Transient, error) {
 	if init != nil && len(init) != n {
 		return nil, fmt.Errorf("thermal: init vector has %d entries, want %d", len(init), n)
 	}
-	a := m.G.ToDense()
 	cdt := make([]float64, n)
 	for i := 0; i < n; i++ {
 		cdt[i] = m.C[i] / dt
-		a.Add(i, i, cdt[i])
 	}
-	lu, err := linalg.Factor(a)
+	var (
+		solver linalg.Solver
+		err    error
+	)
+	if kind == SolverDense {
+		a := m.G.ToDense()
+		for i := 0; i < n; i++ {
+			a.Add(i, i, cdt[i])
+		}
+		solver, err = linalg.Factor(a)
+	} else {
+		solver, err = m.transientFactor(dt, kind)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("thermal: transient factorization failed: %w", err)
 	}
 	tr := &Transient{
-		m:    m,
-		dt:   dt,
-		lu:   lu,
-		cdt:  cdt,
-		rise: make([]float64, n),
-		rhs:  make([]float64, n),
+		m:      m,
+		dt:     dt,
+		solver: solver,
+		cdt:    cdt,
+		rise:   make([]float64, n),
+		rhs:    make([]float64, n),
+	}
+	if chol, ok := solver.(*linalg.Cholesky); ok {
+		tr.chol = chol
+		tr.scratch = make([]float64, n)
 	}
 	if init != nil {
 		for i := range tr.rise {
@@ -75,7 +105,12 @@ func (t *Transient) Step(blockPower []float64) ([]float64, error) {
 	for i := range t.rhs {
 		t.rhs[i] = t.cdt[i]*t.rise[i] + pn[i]
 	}
-	if err := t.lu.Solve(t.rise, t.rhs); err != nil {
+	if t.chol != nil {
+		err = t.chol.SolveBuffered(t.rise, t.rhs, t.scratch)
+	} else {
+		err = t.solver.Solve(t.rise, t.rhs)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("thermal: transient step failed: %w", err)
 	}
 	return t.Temps(), nil
@@ -131,17 +166,7 @@ func (m *Model) StepRK4(tempsC []float64, blockPower []float64, dt float64) ([]f
 	// Stability: |lambda|_max <= max_i (sum_j |G_ij|) / C_i. RK4's real
 	// stability interval is ~2.78/|lambda|; use half for safety.
 	lmax := 0.0
-	dense := m.G.ToDense()
-	for i := 0; i < n; i++ {
-		row := dense.Row(i)
-		s := 0.0
-		for _, v := range row {
-			if v < 0 {
-				s -= v
-			} else {
-				s += v
-			}
-		}
+	for i, s := range m.G.RowAbsSums() {
 		if l := s / m.C[i]; l > lmax {
 			lmax = l
 		}
