@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Convert `go test -bench` output (stdin) to a JSON benchmark report
+# (stdout). Used by CI to produce BENCH_ci.json and to (re)generate the
+# committed baseline:
+#
+#   go test -run xxx -bench 'SteadyState|Transient|Sweep' -benchtime 1x -count 1 . \
+#     | sh .github/bench_to_json.sh > .github/bench_baseline.json
+awk '
+BEGIN { printf "{\n  \"benchmarks\": [" ; n = 0 }
+$1 ~ /^Benchmark/ && $NF == "ns/op" {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s}", name, $(NF-1)
+}
+END { printf "\n  ]\n}\n" }
+'

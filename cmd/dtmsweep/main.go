@@ -1,25 +1,40 @@
 // Command dtmsweep regenerates the paper's evaluation: Tables I-II,
 // Figure 2 (TSV resistivity), and Figures 3-6 (hot spots without/with
 // DPM, spatial gradients, thermal cycles) across every policy and 3D
-// configuration.
+// configuration. It doubles as the streaming sweep driver: with -out
+// it expands the configured sweep to a deterministic job list, runs it
+// on a worker pool, and streams one record per completed run, with
+// optional sharding across machines (-shard), a JSONL checkpoint
+// (-checkpoint), and resumption of a killed sweep (-resume).
 //
 // Usage:
 //
-//	dtmsweep                 # everything
-//	dtmsweep -figure 3       # one figure
-//	dtmsweep -duration 600   # longer runs
-//	dtmsweep -csv            # machine-readable output
+//	dtmsweep                          # everything (figure mode)
+//	dtmsweep -figure 3                # one figure
+//	dtmsweep -duration 600            # longer runs
+//	dtmsweep -csv                     # machine-readable figure output
+//	dtmsweep -replicates 5 -figure 4  # mean±stddev cells
+//
+//	dtmsweep -out jsonl -checkpoint ck.jsonl          # streaming sweep
+//	dtmsweep -out csv -shard 1/4 -checkpoint s1.jsonl # shard 1 of 4
+//	dtmsweep -out jsonl -resume ck.jsonl -checkpoint ck.jsonl  # resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
+	"repro/internal/floorplan"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 )
 
@@ -30,27 +45,63 @@ func main() {
 	figFlag := flag.Int("figure", 0, "figure to regenerate (2..6; 0 = all, including Tables I-II)")
 	durFlag := flag.Float64("duration", 300, "simulated seconds per run")
 	seedFlag := flag.Int64("seed", 1, "random seed")
-	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables (figure mode)")
 	benchFlag := flag.String("benchmarks", "", "comma-separated Table I benchmark names (default: representative mix)")
-	solverFlag := flag.String("solver", "cached", "thermal solver path: cached (sparse direct, shared factorizations), sparse, or dense")
+	solverFlag := flag.String("solver", "cached", "thermal solver path(s): cached (sparse direct, shared factorizations), sparse, or dense; sweep mode accepts a comma-separated list")
 	statsFlag := flag.Bool("solverstats", false, "print thermal factorization cache statistics after the sweep")
+	repFlag := flag.Int("replicates", 1, "independent seeds per cell; >1 reports mean±stddev")
+
+	outFlag := flag.String("out", "", "switch to streaming sweep mode and write per-run records to stdout as csv or jsonl")
+	shardFlag := flag.String("shard", "", "run only shard i of n ('i/n', 0-based) of the sweep's job list (sweep mode)")
+	resumeFlag := flag.String("resume", "", "JSONL checkpoint of a previous invocation; completed jobs are skipped (sweep mode)")
+	ckFlag := flag.String("checkpoint", "", "append every completed run to this JSONL file (sweep mode)")
+	expsFlag := flag.String("exps", "", "comma-separated stack configurations 1..6 (default: the paper's 1,2,3,4; 5-6 are the extended scenario space)")
+	policiesFlag := flag.String("policies", "", "comma-separated policy names (default: full roster)")
+	dpmFlag := flag.Bool("dpm", false, "compose the fixed-timeout power manager into every run (sweep mode)")
+	durationsFlag := flag.String("durations", "", "comma-separated simulated durations in seconds (sweep mode; default: -duration)")
+	gridFlag := flag.String("grid", "", "'RxC': additionally sweep every stack in grid thermal mode with R x C cells per layer (sweep mode)")
+	workersFlag := flag.Int("workers", 0, "worker pool size (0: one per CPU)")
 	flag.Parse()
+
+	if *statsFlag {
+		defer func() {
+			entries, hits, misses := thermal.FactorCacheStats()
+			fmt.Fprintf(os.Stderr, "thermal factor cache: %d entries, %d hits, %d factorizations\n", entries, hits, misses)
+		}()
+	}
+
+	if *outFlag != "" {
+		if err := sweepMode(sweepFlags{
+			out:        *outFlag,
+			shard:      *shardFlag,
+			resume:     *resumeFlag,
+			checkpoint: *ckFlag,
+			exps:       *expsFlag,
+			policies:   *policiesFlag,
+			benchmarks: *benchFlag,
+			solvers:    *solverFlag,
+			durations:  *durationsFlag,
+			grid:       *gridFlag,
+			duration:   *durFlag,
+			seed:       *seedFlag,
+			replicates: *repFlag,
+			dpm:        *dpmFlag,
+			workers:    *workersFlag,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	solver, err := thermal.ParseSolverKind(*solverFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	f := exp.FigureConfig{DurationS: *durFlag, Seed: *seedFlag, Solver: solver}
+	f := exp.FigureConfig{DurationS: *durFlag, Seed: *seedFlag, Solver: solver, Replicates: *repFlag}
 	if *benchFlag != "" {
 		f.Benchmarks = strings.Split(*benchFlag, ",")
 	}
 	w := os.Stdout
-	defer func() {
-		if *statsFlag {
-			entries, hits, misses := thermal.FactorCacheStats()
-			fmt.Fprintf(os.Stderr, "thermal factor cache: %d entries, %d hits, %d factorizations\n", entries, hits, misses)
-		}
-	}()
 
 	render := func(t *report.Table) {
 		var err error
@@ -103,4 +154,189 @@ func main() {
 	default:
 		log.Fatalf("unknown figure %d (want 2..6 or 0 for all)", *figFlag)
 	}
+}
+
+type sweepFlags struct {
+	out, shard, resume, checkpoint string
+	exps, policies, benchmarks     string
+	solvers, durations, grid       string
+	duration                       float64
+	seed                           int64
+	replicates, workers            int
+	dpm                            bool
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// buildSpec translates the CLI flags into the declarative sweep spec.
+func buildSpec(f sweepFlags) (sweep.Spec, error) {
+	var zero sweep.Spec
+	exps := floorplan.AllExperiments()
+	if f.exps != "" {
+		exps = exps[:0]
+		for _, tok := range splitList(f.exps) {
+			e, err := floorplan.ParseExperiment(tok)
+			if err != nil {
+				return zero, err
+			}
+			exps = append(exps, e)
+		}
+	}
+	scenarios := sweep.ScenariosFor(exps)
+	if f.grid != "" {
+		r, c, ok := strings.Cut(f.grid, "x")
+		rows, err1 := strconv.Atoi(strings.TrimSpace(r))
+		var cols int
+		var err2 error
+		if ok {
+			cols, err2 = strconv.Atoi(strings.TrimSpace(c))
+		}
+		if !ok || err1 != nil || err2 != nil || rows <= 0 || cols <= 0 {
+			return zero, fmt.Errorf("bad -grid %q (want RxC, e.g. 16x16)", f.grid)
+		}
+		for _, e := range exps {
+			scenarios = append(scenarios, sweep.Scenario{Exp: e, GridRows: rows, GridCols: cols})
+		}
+	}
+
+	policies := append([]string{}, exp.PolicyOrder...)
+	if f.policies != "" {
+		policies = splitList(f.policies)
+	}
+	benches := exp.DefaultBenchmarks()
+	if f.benchmarks != "" {
+		benches = splitList(f.benchmarks)
+	}
+
+	var solvers []thermal.SolverKind
+	for _, tok := range splitList(f.solvers) {
+		k, err := thermal.ParseSolverKind(tok)
+		if err != nil {
+			return zero, err
+		}
+		solvers = append(solvers, k)
+	}
+
+	durations := []float64{f.duration}
+	if f.durations != "" {
+		durations = durations[:0]
+		for _, tok := range splitList(f.durations) {
+			d, err := strconv.ParseFloat(tok, 64)
+			if err != nil || d <= 0 {
+				return zero, fmt.Errorf("bad -durations entry %q", tok)
+			}
+			durations = append(durations, d)
+		}
+	}
+
+	return sweep.Spec{
+		Scenarios:  scenarios,
+		Policies:   policies,
+		Benchmarks: benches,
+		Replicates: f.replicates,
+		Seed:       f.seed,
+		Solvers:    solvers,
+		DurationsS: durations,
+		UseDPM:     f.dpm,
+	}, nil
+}
+
+// sweepMode expands, shards, optionally resumes, and executes the
+// sweep, streaming records to stdout and the checkpoint file. SIGINT
+// cancels cleanly: in-flight runs stop at their next simulated tick
+// and everything already completed is in the checkpoint.
+func sweepMode(f sweepFlags) error {
+	spec, err := buildSpec(f)
+	if err != nil {
+		return err
+	}
+	jobs := spec.Expand()
+	total := len(jobs)
+
+	if f.shard != "" {
+		idxS, cntS, ok := strings.Cut(f.shard, "/")
+		idx, err1 := strconv.Atoi(idxS)
+		cnt, err2 := strconv.Atoi(cntS)
+		if !ok || err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", f.shard)
+		}
+		if jobs, err = sweep.Shard(jobs, idx, cnt); err != nil {
+			return err
+		}
+	}
+
+	opts := sweep.Options{Workers: f.workers}
+	if f.resume != "" {
+		recs, err := sweep.LoadCheckpointFile(f.resume)
+		if err != nil {
+			return err
+		}
+		opts.Skip = sweep.CompletedKeys(recs)
+		fmt.Fprintf(os.Stderr, "dtmsweep: resuming: %d completed runs in %s\n", len(opts.Skip), f.resume)
+	}
+
+	var sinks []sweep.Sink
+	switch f.out {
+	case "jsonl":
+		sinks = append(sinks, sweep.NewJSONLSink(os.Stdout))
+	case "csv":
+		sinks = append(sinks, sweep.NewCSVSink(os.Stdout))
+	default:
+		return fmt.Errorf("bad -out %q (want csv or jsonl)", f.out)
+	}
+	if f.checkpoint != "" {
+		ck, err := os.OpenFile(f.checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		sinks = append(sinks, sweep.NewJSONLSink(ck))
+	}
+
+	// Prewarm only the scenarios this invocation will actually run.
+	pending := spec
+	pending.Scenarios = nil
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if opts.Skip[j.Key()] || seen[j.Scenario.ID()] {
+			continue
+		}
+		seen[j.Scenario.ID()] = true
+		pending.Scenarios = append(pending.Scenarios, j.Scenario)
+	}
+	if err := exp.Prewarm(pending); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "dtmsweep: %d jobs in sweep, %d in this shard, %d to run\n",
+		total, len(jobs), len(jobs)-countSkipped(jobs, opts.Skip))
+	n, err := sweep.Execute(ctx, jobs, exp.NewRunner(), opts, sinks...)
+	fmt.Fprintf(os.Stderr, "dtmsweep: %d runs in %.1fs\n", n, time.Since(start).Seconds())
+	return err
+}
+
+func countSkipped(jobs []sweep.Job, skip map[string]bool) int {
+	n := 0
+	for _, j := range jobs {
+		if skip[j.Key()] {
+			n++
+		}
+	}
+	return n
 }

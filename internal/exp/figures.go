@@ -24,6 +24,10 @@ type FigureConfig struct {
 	// Solver selects the thermal linear-solve path (default: shared-cache
 	// sparse direct).
 	Solver thermal.SolverKind
+	// Replicates averages every cell over that many independent seeds
+	// and renders mean±stddev entries (0 or 1: single-seed, as in the
+	// paper figures).
+	Replicates int
 }
 
 // TableIReport renders Table I (workload characteristics) together with
@@ -82,11 +86,14 @@ func (f FigureConfig) matrix(useDPM bool) (*Matrix, error) {
 		DurationS:  f.DurationS,
 		Seed:       f.Seed,
 		Solver:     f.Solver,
+		Replicates: f.Replicates,
 	})
 }
 
-// metricTable renders one metric for every (policy, experiment) cell.
-func metricTable(m *Matrix, title string, get func(Cell) float64) *report.Table {
+// metricTableSpread renders one metric for every (policy, experiment)
+// cell. Cells carrying a replicate spread render as "mean±stddev"; the
+// single-seed sweeps keep the original plain float cells.
+func metricTableSpread(m *Matrix, title string, get func(Cell) float64, getStd func(CellSpread) float64) *report.Table {
 	header := []string{"Policy"}
 	for _, e := range m.Config.Exps {
 		header = append(header, e.String())
@@ -95,7 +102,12 @@ func metricTable(m *Matrix, title string, get func(Cell) float64) *report.Table 
 	for pi, p := range m.Config.Policies {
 		row := []interface{}{p}
 		for ei := range m.Config.Exps {
-			row = append(row, get(m.Cells[pi][ei]))
+			c := m.Cells[pi][ei]
+			if c.Spread != nil && getStd != nil {
+				row = append(row, fmt.Sprintf("%.2f±%.2f", get(c), getStd(*c.Spread)))
+			} else {
+				row = append(row, get(c))
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -110,8 +122,8 @@ func Fig3Report(f FigureConfig) (hotspots, perf *report.Table, m *Matrix, err er
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	hotspots = metricTable(m, "Fig. 3: Thermal Hot Spots (Without DPM) — % time > 85 °C", func(c Cell) float64 { return c.HotSpotPct })
-	perf = metricTable(m, "Fig. 3 (line series): Performance normalized to Default", func(c Cell) float64 { return c.NormPerf })
+	hotspots = metricTableSpread(m, "Fig. 3: Thermal Hot Spots (Without DPM) — % time > 85 °C", func(c Cell) float64 { return c.HotSpotPct }, func(s CellSpread) float64 { return s.HotSpotPct })
+	perf = metricTableSpread(m, "Fig. 3 (line series): Performance normalized to Default", func(c Cell) float64 { return c.NormPerf }, func(s CellSpread) float64 { return s.NormPerf })
 	return hotspots, perf, m, nil
 }
 
@@ -121,7 +133,7 @@ func Fig4Report(f FigureConfig) (*report.Table, *Matrix, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return metricTable(m, "Fig. 4: Thermal Hot Spots (With DPM) — % time > 85 °C", func(c Cell) float64 { return c.HotSpotPct }), m, nil
+	return metricTableSpread(m, "Fig. 4: Thermal Hot Spots (With DPM) — % time > 85 °C", func(c Cell) float64 { return c.HotSpotPct }, func(s CellSpread) float64 { return s.HotSpotPct }), m, nil
 }
 
 // Fig5Report regenerates Figure 5: spatial gradients with DPM (% of time
@@ -131,7 +143,7 @@ func Fig5Report(f FigureConfig) (*report.Table, *Matrix, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return metricTable(m, "Fig. 5: Spatial Gradients (With DPM) — % time > 15 °C", func(c Cell) float64 { return c.GradientPct }), m, nil
+	return metricTableSpread(m, "Fig. 5: Spatial Gradients (With DPM) — % time > 15 °C", func(c Cell) float64 { return c.GradientPct }, func(s CellSpread) float64 { return s.GradientPct }), m, nil
 }
 
 // Fig6Report regenerates Figure 6: thermal cycles with DPM (% of windows
@@ -144,7 +156,7 @@ func Fig6Report(f FigureConfig) (*report.Table, *Matrix, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return metricTable(m, "Fig. 6: Thermal Cycles (With DPM) — % windows ΔT > 20 °C", func(c Cell) float64 { return c.CyclePct }), m, nil
+	return metricTableSpread(m, "Fig. 6: Thermal Cycles (With DPM) — % windows ΔT > 20 °C", func(c Cell) float64 { return c.CyclePct }, func(s CellSpread) float64 { return s.CyclePct }), m, nil
 }
 
 // WriteAllFigures runs every figure sweep and writes the reports to w.
@@ -169,11 +181,11 @@ func WriteAllFigures(w io.Writer, f FigureConfig) (noDPM, withDPM *Matrix, err e
 		return nil, nil, err
 	}
 	// Figures 4-6 share the with-DPM matrix.
-	t5 := metricTable(m4, "Fig. 5: Spatial Gradients (With DPM) — % time > 15 °C", func(c Cell) float64 { return c.GradientPct })
-	t6 := metricTable(m4, "Fig. 6: Thermal Cycles (With DPM) — % windows ΔT > 20 °C", func(c Cell) float64 { return c.CyclePct })
+	t5 := metricTableSpread(m4, "Fig. 5: Spatial Gradients (With DPM) — % time > 15 °C", func(c Cell) float64 { return c.GradientPct }, func(s CellSpread) float64 { return s.GradientPct })
+	t6 := metricTableSpread(m4, "Fig. 6: Thermal Cycles (With DPM) — % windows ΔT > 20 °C", func(c Cell) float64 { return c.CyclePct }, func(s CellSpread) float64 { return s.CyclePct })
 	// Energy view backing the paper's claim that Adapt3D composes with
 	// power management to save energy.
-	tE := metricTable(m4, "Energy: average chip power (W) with DPM", func(c Cell) float64 { return c.AvgPowerW })
+	tE := metricTableSpread(m4, "Energy: average chip power (W) with DPM", func(c Cell) float64 { return c.AvgPowerW }, func(s CellSpread) float64 { return s.AvgPowerW })
 	for _, t := range []*report.Table{hs, perf, t4, t5, t6, tE} {
 		if err := t.Render(w); err != nil {
 			return nil, nil, err

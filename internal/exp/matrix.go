@@ -1,13 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/floorplan"
-	"repro/internal/metrics"
-	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -30,6 +28,11 @@ type MatrixConfig struct {
 	// Solver selects the thermal linear-solve path for every run; the
 	// zero value is the shared-cache sparse path (thermal.SolverCached).
 	Solver thermal.SolverKind
+	// Replicates runs every (policy, experiment, benchmark) combination
+	// under that many independent seeds (sweep.DefaultSeedStride apart)
+	// and reports mean cells with a stddev Spread. 0 or 1 runs the
+	// single-seed sweep the paper figures use.
+	Replicates int
 }
 
 // DefaultBenchmarks is the workload mix driving the figure sweeps: four
@@ -60,6 +63,28 @@ type Cell struct {
 	AvgCoreTempC float64
 	MaxVerticalC float64
 	Migrations   int
+
+	// Spread holds the across-replicate sample stddev of every metric
+	// when the sweep ran with Replicates > 1; nil otherwise.
+	Spread *CellSpread
+}
+
+// CellSpread is the across-replicate sample standard deviation of each
+// Cell metric (the ± of a mean ± stddev cell).
+type CellSpread struct {
+	Replicates int
+
+	HotSpotPct   float64
+	GradientPct  float64
+	CyclePct     float64
+	NormPerf     float64
+	DelayPct     float64
+	AvgPowerW    float64
+	EnergyJ      float64
+	MaxTempC     float64
+	AvgCoreTempC float64
+	MaxVerticalC float64
+	Migrations   float64
 }
 
 // Matrix is the full sweep result.
@@ -100,201 +125,37 @@ func (c MatrixConfig) withDefaults() MatrixConfig {
 	return c
 }
 
-// Run executes the sweep. For fairness, every policy replays the exact
-// same pre-generated job trace per (experiment, benchmark) pair, and the
-// per-benchmark performance is normalized against the Default policy on
-// that same trace before averaging. Runs are independent simulations and
-// execute on a worker pool sized to the machine; results are aggregated
-// in a fixed order, so the sweep stays deterministic.
+// Run executes the sweep through the sweep orchestrator: the
+// configuration expands to a deterministic job list (see Spec), runs
+// on a bounded worker pool, and the streamed records aggregate into
+// the figure matrix (see Aggregate).
+//
+// For fairness, every policy replays the exact same pre-generated job
+// trace per (experiment, benchmark, replicate), and the per-benchmark
+// performance is normalized against the Default policy on that same
+// trace before averaging. Runs are independent simulations; records
+// aggregate in a fixed order, so the sweep stays deterministic no
+// matter how the pool schedules it.
 func Run(cfg MatrixConfig) (*Matrix, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: canceling ctx aborts in-flight
+// simulations at their next tick and returns the context's error.
+func RunContext(ctx context.Context, cfg MatrixConfig) (*Matrix, error) {
 	cfg = cfg.withDefaults()
-	m := &Matrix{Config: cfg}
-
-	// Pre-generate every trace (bench x core-count) up front so workers
-	// only read shared state.
-	type benchRun struct {
-		bench workload.Benchmark
-		jobs  map[int][]workload.Job
-	}
-	coreCounts := make(map[int]bool)
-	for _, e := range cfg.Exps {
-		coreCounts[e.NumCores()] = true
-	}
-	benches := make([]benchRun, 0, len(cfg.Benchmarks))
 	for _, name := range cfg.Benchmarks {
-		b, err := workload.ByName(name)
-		if err != nil {
+		if _, err := workload.ByName(name); err != nil {
 			return nil, err
 		}
-		br := benchRun{bench: b, jobs: make(map[int][]workload.Job)}
-		for cores := range coreCounts {
-			j, err := workload.Generate(workload.GenConfig{
-				Bench:     b,
-				NumCores:  cores,
-				DurationS: cfg.DurationS,
-				Seed:      cfg.Seed + int64(b.ID),
-			})
-			if err != nil {
-				return nil, err
-			}
-			br.jobs[cores] = j
-		}
-		benches = append(benches, br)
 	}
-
-	// Warm the shared thermal factorization cache once per experiment:
-	// every (policy, benchmark) run on a stack reuses the same
-	// steady-state and transient factorizations, so factoring them before
-	// the pool keeps the workers from all blocking on the first run.
-	for _, e := range cfg.Exps {
-		if err := sim.Prewarm(sim.Config{Exp: e, DurationS: cfg.DurationS, Solver: cfg.Solver}); err != nil {
-			return nil, fmt.Errorf("exp: prewarm %v: %w", e, err)
-		}
+	spec := cfg.Spec()
+	if err := Prewarm(spec); err != nil {
+		return nil, err
 	}
-
-	runOne := func(policyName string, e floorplan.Experiment, br *benchRun) (*sim.Result, error) {
-		stack, err := floorplan.Build(e)
-		if err != nil {
-			return nil, err
-		}
-		pol, err := BuildPolicyWith(policyName, stack, cfg.Seed, cfg.Solver)
-		if err != nil {
-			return nil, err
-		}
-		return sim.Run(sim.Config{
-			Exp:       e,
-			Policy:    pol,
-			UseDPM:    cfg.UseDPM,
-			Jobs:      br.jobs[stack.NumCores()],
-			DurationS: cfg.DurationS,
-			Seed:      cfg.Seed,
-			Solver:    cfg.Solver,
-		})
+	col := &sweep.Collector{}
+	if _, err := sweep.Execute(ctx, spec.Expand(), NewRunner(), sweep.Options{}, col); err != nil {
+		return nil, err
 	}
-
-	// Enumerate every (policy, exp, bench) run, including the Default
-	// baseline (which is usually part of cfg.Policies anyway).
-	type task struct {
-		pi, ei, bi int // pi == -1 marks a pure baseline run
-		name       string
-	}
-	var tasks []task
-	hasDefault := false
-	for pi, p := range cfg.Policies {
-		if p == "Default" {
-			hasDefault = true
-		}
-		for ei := range cfg.Exps {
-			for bi := range benches {
-				tasks = append(tasks, task{pi, ei, bi, p})
-			}
-		}
-	}
-	if !hasDefault {
-		for ei := range cfg.Exps {
-			for bi := range benches {
-				tasks = append(tasks, task{-1, ei, bi, "Default"})
-			}
-		}
-	}
-
-	results := make([]*sim.Result, len(tasks))
-	errs := make([]error, len(tasks))
-	workers := runtime.NumCPU()
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range next {
-				tk := tasks[ti]
-				results[ti], errs[ti] = runOne(tk.name, cfg.Exps[tk.ei], &benches[tk.bi])
-			}
-		}()
-	}
-	for ti := range tasks {
-		next <- ti
-	}
-	close(next)
-	wg.Wait()
-	for ti, err := range errs {
-		if err != nil {
-			tk := tasks[ti]
-			return nil, fmt.Errorf("exp: %s on %v (%s): %w", tk.name, cfg.Exps[tk.ei], benches[tk.bi].bench.Name, err)
-		}
-	}
-
-	// Baseline responses per (exp, bench) for performance normalization.
-	baseResp := make(map[string]float64)
-	key := func(ei, bi int) string { return fmt.Sprintf("%d/%d", ei, bi) }
-	for ti, tk := range tasks {
-		if tk.name == "Default" {
-			baseResp[key(tk.ei, tk.bi)] = results[ti].Sched.MeanResponseS
-		}
-	}
-
-	// Deterministic aggregation in policy/exp/bench order.
-	m.Cells = make([][]Cell, len(cfg.Policies))
-	for pi := range cfg.Policies {
-		m.Cells[pi] = make([]Cell, len(cfg.Exps))
-		for ei, e := range cfg.Exps {
-			m.Cells[pi][ei] = Cell{Policy: cfg.Policies[pi], Exp: e}
-		}
-	}
-	counts := make([][]float64, len(cfg.Policies))
-	norm := make([][]float64, len(cfg.Policies))
-	delay := make([][]float64, len(cfg.Policies))
-	for pi := range cfg.Policies {
-		counts[pi] = make([]float64, len(cfg.Exps))
-		norm[pi] = make([]float64, len(cfg.Exps))
-		delay[pi] = make([]float64, len(cfg.Exps))
-	}
-	for ti, tk := range tasks {
-		if tk.pi < 0 {
-			continue
-		}
-		r := results[ti]
-		cell := &m.Cells[tk.pi][tk.ei]
-		cell.HotSpotPct += r.Metrics.HotSpotPct
-		cell.GradientPct += r.Metrics.GradientPct
-		cell.CyclePct += r.Metrics.CyclePct
-		cell.AvgPowerW += r.AvgPowerW
-		cell.EnergyJ += r.EnergyJ
-		cell.AvgCoreTempC += r.Metrics.AvgCoreTempC
-		if r.Metrics.MaxTempC > cell.MaxTempC {
-			cell.MaxTempC = r.Metrics.MaxTempC
-		}
-		if r.Metrics.MaxVerticalC > cell.MaxVerticalC {
-			cell.MaxVerticalC = r.Metrics.MaxVerticalC
-		}
-		cell.Migrations += r.Sched.TotalMigration
-		base := baseResp[key(tk.ei, tk.bi)]
-		norm[tk.pi][tk.ei] += metrics.NormalizedPerformance(base, r.Sched.MeanResponseS)
-		delay[tk.pi][tk.ei] += metrics.DelayPct(base, r.Sched.MeanResponseS)
-		counts[tk.pi][tk.ei]++
-	}
-	for pi := range cfg.Policies {
-		for ei := range cfg.Exps {
-			n := counts[pi][ei]
-			if n == 0 {
-				continue
-			}
-			c := &m.Cells[pi][ei]
-			c.HotSpotPct /= n
-			c.GradientPct /= n
-			c.CyclePct /= n
-			c.AvgPowerW /= n
-			c.AvgCoreTempC /= n
-			c.NormPerf = norm[pi][ei] / n
-			c.DelayPct = delay[pi][ei] / n
-		}
-	}
-	return m, nil
+	return cfg.Aggregate(col.Records)
 }

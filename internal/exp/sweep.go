@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Spec translates the matrix configuration into the declarative sweep
+// spec the orchestrator expands. Exposed so cmd/dtmsweep can shard,
+// checkpoint, and resume the same job space exp.Run executes inline.
+func (c MatrixConfig) Spec() sweep.Spec {
+	c = c.withDefaults()
+	return sweep.Spec{
+		Scenarios:  sweep.ScenariosFor(c.Exps),
+		Policies:   c.Policies,
+		Benchmarks: c.Benchmarks,
+		Replicates: c.Replicates,
+		Seed:       c.Seed,
+		Solvers:    []thermal.SolverKind{c.Solver},
+		DurationsS: []float64{c.DurationS},
+		UseDPM:     c.UseDPM,
+	}
+}
+
+// NewRunner returns the simulator-backed job runner. All runs launched
+// from one runner share a trace cache, so every policy replays the
+// exact same pre-generated job trace per (scenario, benchmark,
+// replicate) — the fairness invariant the figure sweeps rely on.
+func NewRunner() sweep.RunFunc {
+	traces := workload.NewTraceCache()
+	return func(ctx context.Context, j sweep.Job) (sweep.Record, error) {
+		b, err := workload.ByName(j.Bench)
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		sc := j.Scenario
+		stack, err := floorplan.Build(sc.Exp)
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		jobs, err := traces.Get(workload.GenConfig{
+			Bench:     b,
+			NumCores:  stack.NumCores(),
+			DurationS: j.DurationS,
+			Seed:      j.Seed + int64(b.ID),
+		})
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		pol, err := BuildPolicyWith(j.Policy, stack, j.Seed, j.Solver)
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Exp:                 sc.Exp,
+			JointResistivityMKW: sc.JointResistivityMKW,
+			GridRows:            sc.GridRows,
+			GridCols:            sc.GridCols,
+			Policy:              pol,
+			UseDPM:              j.UseDPM,
+			Jobs:                jobs,
+			DurationS:           j.DurationS,
+			Seed:                j.Seed,
+			Solver:              j.Solver,
+			Ctx:                 ctx,
+		})
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		return sweep.NewRecord(j, res, 0), nil
+	}
+}
+
+// Prewarm factors every cached-solver scenario's thermal systems into
+// the shared factorization cache before a worker pool starts, so the
+// workers don't all block on the first run per stack.
+func Prewarm(spec sweep.Spec) error {
+	for _, sc := range spec.Scenarios {
+		for _, solver := range spec.Solvers {
+			for _, dur := range spec.DurationsS {
+				err := sim.Prewarm(sim.Config{
+					Exp:                 sc.Exp,
+					JointResistivityMKW: sc.JointResistivityMKW,
+					GridRows:            sc.GridRows,
+					GridCols:            sc.GridCols,
+					DurationS:           dur,
+					Solver:              solver,
+				})
+				if err != nil {
+					return fmt.Errorf("exp: prewarm %s: %w", sc.ID(), err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recKey identifies the record of one logical run within a
+// single-solver, single-duration matrix sweep.
+type recKey struct {
+	policy, scenario, bench string
+	replicate               int
+}
+
+// Aggregate folds raw sweep records into the figure matrix. It accepts
+// records in any order and from any mix of invocations (one inline
+// run, several shards, a checkpoint merge), deduplicates repeated
+// keys, and verifies completeness: every (policy, scenario, benchmark,
+// replicate) cell of the configuration must be present exactly when
+// sharded results have all been merged.
+//
+// Aggregation is deterministic: benchmarks accumulate in configuration
+// order within a replicate, replicates average in seed order. With
+// Replicates <= 1 the arithmetic reproduces the pre-orchestrator
+// exp.Run bit for bit, which the golden tests pin.
+func (c MatrixConfig) Aggregate(recs []sweep.Record) (*Matrix, error) {
+	cfg := c.withDefaults()
+	reps := cfg.Replicates
+	if reps <= 0 {
+		reps = 1
+	}
+	// A matrix is a single-solver, single-duration slice of the record
+	// space: drop records from other sweep dimensions (a shared
+	// checkpoint may hold, say, both cached and dense runs) so they can
+	// never silently mix into the cells. If filtering leaves a hole,
+	// the completeness check below reports it.
+	solver := cfg.Solver.String()
+	byKey := make(map[recKey]sweep.Record, len(recs))
+	for _, r := range sweep.Dedup(recs) {
+		if r.Solver != solver || r.DurationS != cfg.DurationS {
+			continue
+		}
+		byKey[recKey{r.Policy, r.Scenario, r.Bench, r.Replicate}] = r
+	}
+	get := func(policy string, e floorplan.Experiment, bench string, rep int) (sweep.Record, error) {
+		k := recKey{policy, e.String(), bench, rep}
+		r, ok := byKey[k]
+		if !ok {
+			return sweep.Record{}, fmt.Errorf("exp: sweep incomplete: no record for %s on %v (%s, replicate %d)", policy, e, bench, rep)
+		}
+		return r, nil
+	}
+
+	m := &Matrix{Config: cfg}
+	m.Cells = make([][]Cell, len(cfg.Policies))
+	nb := float64(len(cfg.Benchmarks))
+	for pi, p := range cfg.Policies {
+		m.Cells[pi] = make([]Cell, len(cfg.Exps))
+		for ei, e := range cfg.Exps {
+			perRep := make([]Cell, reps)
+			for rep := 0; rep < reps; rep++ {
+				cell := Cell{Policy: p, Exp: e}
+				var norm, delay float64
+				for _, bench := range cfg.Benchmarks {
+					r, err := get(p, e, bench, rep)
+					if err != nil {
+						return nil, err
+					}
+					base, err := get("Default", e, bench, rep)
+					if err != nil {
+						return nil, err
+					}
+					cell.HotSpotPct += r.HotSpotPct
+					cell.GradientPct += r.GradientPct
+					cell.CyclePct += r.CyclePct
+					cell.AvgPowerW += r.AvgPowerW
+					cell.EnergyJ += r.EnergyJ
+					cell.AvgCoreTempC += r.AvgCoreTempC
+					if r.MaxTempC > cell.MaxTempC {
+						cell.MaxTempC = r.MaxTempC
+					}
+					if r.MaxVerticalC > cell.MaxVerticalC {
+						cell.MaxVerticalC = r.MaxVerticalC
+					}
+					cell.Migrations += r.Migrations
+					norm += metrics.NormalizedPerformance(base.MeanResponseS, r.MeanResponseS)
+					delay += metrics.DelayPct(base.MeanResponseS, r.MeanResponseS)
+				}
+				cell.HotSpotPct /= nb
+				cell.GradientPct /= nb
+				cell.CyclePct /= nb
+				cell.AvgPowerW /= nb
+				cell.AvgCoreTempC /= nb
+				cell.NormPerf = norm / nb
+				cell.DelayPct = delay / nb
+				perRep[rep] = cell
+			}
+			m.Cells[pi][ei] = foldReplicates(perRep)
+		}
+	}
+	return m, nil
+}
+
+// foldReplicates averages per-replicate cells into one cell with a
+// sample-stddev spread. A single replicate folds to itself (dividing
+// by 1 is exact, so replicates=1 sweeps stay bit-identical) and
+// carries no spread.
+func foldReplicates(perRep []Cell) Cell {
+	n := len(perRep)
+	if n == 1 {
+		return perRep[0]
+	}
+	out := Cell{Policy: perRep[0].Policy, Exp: perRep[0].Exp}
+	mean := func(get func(Cell) float64) float64 {
+		s := 0.0
+		for _, c := range perRep {
+			s += get(c)
+		}
+		return s / float64(n)
+	}
+	std := func(get func(Cell) float64, mu float64) float64 {
+		s := 0.0
+		for _, c := range perRep {
+			d := get(c) - mu
+			s += d * d
+		}
+		return math.Sqrt(s / float64(n-1))
+	}
+	sp := &CellSpread{Replicates: n}
+	fold := func(dst *float64, dstStd *float64, get func(Cell) float64) {
+		*dst = mean(get)
+		*dstStd = std(get, *dst)
+	}
+	fold(&out.HotSpotPct, &sp.HotSpotPct, func(c Cell) float64 { return c.HotSpotPct })
+	fold(&out.GradientPct, &sp.GradientPct, func(c Cell) float64 { return c.GradientPct })
+	fold(&out.CyclePct, &sp.CyclePct, func(c Cell) float64 { return c.CyclePct })
+	fold(&out.NormPerf, &sp.NormPerf, func(c Cell) float64 { return c.NormPerf })
+	fold(&out.DelayPct, &sp.DelayPct, func(c Cell) float64 { return c.DelayPct })
+	fold(&out.AvgPowerW, &sp.AvgPowerW, func(c Cell) float64 { return c.AvgPowerW })
+	fold(&out.EnergyJ, &sp.EnergyJ, func(c Cell) float64 { return c.EnergyJ })
+	fold(&out.MaxTempC, &sp.MaxTempC, func(c Cell) float64 { return c.MaxTempC })
+	fold(&out.AvgCoreTempC, &sp.AvgCoreTempC, func(c Cell) float64 { return c.AvgCoreTempC })
+	fold(&out.MaxVerticalC, &sp.MaxVerticalC, func(c Cell) float64 { return c.MaxVerticalC })
+	var migr, migrStd float64
+	fold(&migr, &migrStd, func(c Cell) float64 { return float64(c.Migrations) })
+	out.Migrations = int(math.Round(migr))
+	sp.Migrations = migrStd
+	out.Spread = sp
+	return out
+}

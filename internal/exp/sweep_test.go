@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// resumeConfig is a small but non-trivial sweep: two stacks, two
+// policies plus the implicit baseline, two replicates.
+func resumeConfig() MatrixConfig {
+	cfg := goldenConfig()
+	cfg.DurationS = 10
+	cfg.Replicates = 2
+	return cfg
+}
+
+func runMatrix(t *testing.T, cfg MatrixConfig) *Matrix {
+	t.Helper()
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func requireEqualMatrices(t *testing.T, got, want *Matrix, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Fatalf("%s: matrices differ\ngot  %+v\nwant %+v", what, got.Cells, want.Cells)
+	}
+}
+
+// cancelAfter cancels the sweep once n records have streamed through
+// it, simulating a sweep killed roughly mid-run.
+type cancelAfter struct {
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Put(sweep.Record) error {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+	return nil
+}
+
+func (c *cancelAfter) Close() error { return nil }
+
+// TestCheckpointResumeMatchesUninterrupted kills a sweep at ~50%
+// completion (by canceling its context), resumes it from the JSONL
+// checkpoint, and requires the merged matrix to equal an uninterrupted
+// run's exactly.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	cfg := resumeConfig()
+	want := runMatrix(t, cfg)
+
+	spec := cfg.Spec()
+	jobs := spec.Expand()
+	ckPath := filepath.Join(t.TempDir(), "ck.jsonl")
+
+	// Phase 1: run with a checkpoint, killed halfway.
+	ck, err := os.OpenFile(ckPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killer := &cancelAfter{n: len(jobs) / 2, cancel: cancel}
+	_, err = sweep.Execute(ctx, jobs, NewRunner(), sweep.Options{},
+		sweep.NewJSONLSink(ck), killer)
+	ck.Close()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: err = %v, want context.Canceled", err)
+	}
+
+	done, err := sweep.LoadCheckpointFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) == 0 || len(done) >= len(jobs) {
+		t.Fatalf("checkpoint holds %d of %d records; the kill did not land mid-sweep", len(done), len(jobs))
+	}
+	if _, err := cfg.Aggregate(done); err == nil {
+		t.Fatal("Aggregate accepted an incomplete sweep")
+	}
+
+	// Phase 2: resume. Only the unfinished jobs run; completed keys are
+	// skipped.
+	col := &sweep.Collector{}
+	ran, err := sweep.Execute(context.Background(), jobs, NewRunner(),
+		sweep.Options{Skip: sweep.CompletedKeys(done)}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(jobs) - len(done); ran != want {
+		t.Fatalf("resume ran %d jobs, want %d", ran, want)
+	}
+
+	got, err := cfg.Aggregate(append(done, col.Records...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualMatrices(t, got, want, "resumed sweep")
+}
+
+// TestShardedSweepMergesIdentical splits one sweep across two shards
+// executed in separate orchestrator invocations and requires the
+// merged records to aggregate to the unsharded matrix.
+func TestShardedSweepMergesIdentical(t *testing.T) {
+	cfg := resumeConfig()
+	want := runMatrix(t, cfg)
+
+	spec := cfg.Spec()
+	jobs := spec.Expand()
+	var merged []sweep.Record
+	sizes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		shard, err := sweep.Shard(jobs, i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = len(shard)
+		col := &sweep.Collector{}
+		if _, err := sweep.Execute(context.Background(), shard, NewRunner(), sweep.Options{}, col); err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, col.Records...)
+	}
+	if sizes[0] == 0 || sizes[1] == 0 {
+		t.Fatalf("degenerate shard split %v", sizes)
+	}
+	got, err := cfg.Aggregate(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualMatrices(t, got, want, "2-way sharded sweep")
+}
+
+// TestReplicatesProduceSpread checks the mean±stddev cells: replicate
+// runs differ (different seeds), the spread is populated, and a
+// replicates=1 sweep carries none.
+func TestReplicatesProduceSpread(t *testing.T) {
+	cfg := resumeConfig()
+	m := runMatrix(t, cfg)
+	sawSpread := false
+	for pi := range m.Cells {
+		for ei := range m.Cells[pi] {
+			c := m.Cells[pi][ei]
+			if c.Spread == nil {
+				t.Fatalf("cell %s/%v has no spread with %d replicates", c.Policy, c.Exp, cfg.Replicates)
+			}
+			if c.Spread.Replicates != cfg.Replicates {
+				t.Errorf("spread replicates = %d, want %d", c.Spread.Replicates, cfg.Replicates)
+			}
+			if c.Spread.AvgPowerW > 0 || c.Spread.AvgCoreTempC > 0 {
+				sawSpread = true
+			}
+		}
+	}
+	if !sawSpread {
+		t.Error("every metric spread is zero; replicate seeds are not independent")
+	}
+
+	cfg.Replicates = 1
+	m1 := runMatrix(t, cfg)
+	for pi := range m1.Cells {
+		for ei := range m1.Cells[pi] {
+			if m1.Cells[pi][ei].Spread != nil {
+				t.Fatal("replicates=1 cell carries a spread")
+			}
+		}
+	}
+}
+
+// TestRunContextCanceled verifies the orchestrated Run aborts cleanly.
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, resumeConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on canceled ctx: %v", err)
+	}
+}

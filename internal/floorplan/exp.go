@@ -17,15 +17,31 @@ const (
 	EXP3 Experiment = 3
 	// EXP4 duplicates the EXP2 mixed layer to four tiers (16 cores).
 	EXP4 Experiment = 4
+	// EXP5 is a sweep-extension variant of EXP3: the same four-tier
+	// 16-core separated stack, but flipped so each core layer bonds to
+	// the sink side of its tier pair (core, memory, core, memory from
+	// the sink upward). It probes how much of EXP3's hot-spot behaviour
+	// is the stacking order rather than the core count.
+	EXP5 Experiment = 5
+	// EXP6 is a six-tier 24-core separated stack (EXP1's layer pair
+	// repeated three times), the largest scenario in the extended sweep
+	// space.
+	EXP6 Experiment = 6
 )
 
 // String implements fmt.Stringer.
 func (e Experiment) String() string { return fmt.Sprintf("EXP-%d", int(e)) }
 
-// AllExperiments lists the four configurations in paper order.
+// AllExperiments lists the paper's four configurations in paper order.
 func AllExperiments() []Experiment { return []Experiment{EXP1, EXP2, EXP3, EXP4} }
 
-// ParseExperiment converts 1..4 (or "EXP-1".."EXP-4") to an Experiment.
+// ExtendedExperiments lists the full scenario space: the paper's four
+// stacks plus the sweep-extension variants EXP5 and EXP6.
+func ExtendedExperiments() []Experiment {
+	return []Experiment{EXP1, EXP2, EXP3, EXP4, EXP5, EXP6}
+}
+
+// ParseExperiment converts 1..6 (or "EXP-1".."EXP-6") to an Experiment.
 func ParseExperiment(s string) (Experiment, error) {
 	switch s {
 	case "1", "EXP1", "EXP-1", "exp1":
@@ -36,23 +52,34 @@ func ParseExperiment(s string) (Experiment, error) {
 		return EXP3, nil
 	case "4", "EXP4", "EXP-4", "exp4":
 		return EXP4, nil
+	case "5", "EXP5", "EXP-5", "exp5":
+		return EXP5, nil
+	case "6", "EXP6", "EXP-6", "exp6":
+		return EXP6, nil
 	}
-	return 0, fmt.Errorf("floorplan: unknown experiment %q (want 1..4)", s)
+	return 0, fmt.Errorf("floorplan: unknown experiment %q (want 1..6)", s)
 }
 
-// NumCores returns the core count of the configuration (8 for two-layer,
-// 16 for four-layer stacks).
+// NumCores returns the core count of the configuration (8 per core or
+// mixed-pair tier: 8 for two-layer, 16 for four-layer, 24 for the
+// six-layer stack).
 func (e Experiment) NumCores() int {
-	if e == EXP3 || e == EXP4 {
+	switch e {
+	case EXP3, EXP4, EXP5:
 		return 16
+	case EXP6:
+		return 24
 	}
 	return 8
 }
 
 // NumLayers returns the silicon tier count.
 func (e Experiment) NumLayers() int {
-	if e == EXP3 || e == EXP4 {
+	switch e {
+	case EXP3, EXP4, EXP5:
 		return 4
+	case EXP6:
+		return 6
 	}
 	return 2
 }
@@ -105,6 +132,24 @@ func BuildWithResistivity(e Experiment, jointResistivity float64) (*Stack, error
 			mixedLayer(1, 4, 2),
 			mixedLayer(2, 8, 4),
 			mixedLayer(3, 12, 6),
+		}
+	case EXP5:
+		// EXP3 with each tier pair flipped: logic bonds to the cooler,
+		// sink-facing position.
+		s.Layers = []*Layer{
+			coreLayer(0, 0),
+			memoryLayer(1, 0),
+			coreLayer(2, 8),
+			memoryLayer(3, 4),
+		}
+	case EXP6:
+		s.Layers = []*Layer{
+			memoryLayer(0, 0),
+			coreLayer(1, 0),
+			memoryLayer(2, 4),
+			coreLayer(3, 8),
+			memoryLayer(4, 8),
+			coreLayer(5, 16),
 		}
 	default:
 		return nil, fmt.Errorf("floorplan: unknown experiment %d", int(e))

@@ -199,12 +199,12 @@ func TestValidateCatchesWrongLayerIndex(t *testing.T) {
 }
 
 func TestParseExperiment(t *testing.T) {
-	for _, ok := range []string{"1", "EXP-2", "exp3", "EXP4"} {
+	for _, ok := range []string{"1", "EXP-2", "exp3", "EXP4", "5", "EXP-6"} {
 		if _, err := ParseExperiment(ok); err != nil {
 			t.Errorf("ParseExperiment(%q) failed: %v", ok, err)
 		}
 	}
-	if _, err := ParseExperiment("5"); err == nil {
+	if _, err := ParseExperiment("7"); err == nil {
 		t.Error("ParseExperiment accepted invalid input")
 	}
 }

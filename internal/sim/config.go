@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -85,6 +86,12 @@ type Config struct {
 	// TraceWriter, when non-nil, receives a per-tick CSV trace:
 	// time_s, total power (W), then one temperature column per core.
 	TraceWriter io.Writer
+
+	// Ctx, when non-nil, is polled once per simulated tick; canceling
+	// it aborts the run with the context's error. Sweep orchestration
+	// uses this so an interrupted sweep stops mid-simulation instead of
+	// draining every in-flight run to completion.
+	Ctx context.Context
 }
 
 // withDefaults fills in the paper's settings and validates.

@@ -212,7 +212,16 @@ func Run(cfg Config) (*Result, error) {
 		TprefC:     cfg.TprefC,
 	}
 
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
 	for tick := 0; tick < nTicks; tick++ {
+		select {
+		case <-done:
+			return nil, cfg.Ctx.Err()
+		default:
+		}
 		now := float64(tick) * cfg.TickS
 		view.NowS = now
 		view.TempsC = readings

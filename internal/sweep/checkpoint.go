@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// LoadCheckpoint reads the JSONL records of a previous (possibly
+// killed) sweep invocation. A truncated final line — the signature of
+// a process killed mid-write — is ignored; corruption anywhere else is
+// an error, since silently dropping interior records would make the
+// resumed sweep quietly rerun (or worse, double-count) jobs.
+func LoadCheckpoint(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the final one after all.
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			pendingErr = fmt.Errorf("sweep: checkpoint line %d: %w", lineNo, err)
+			continue
+		}
+		if rec.Key == "" {
+			pendingErr = fmt.Errorf("sweep: checkpoint line %d: record has no key", lineNo)
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadCheckpointFile is LoadCheckpoint over a file path. A missing
+// file is an empty checkpoint, so first runs and resumed runs can
+// share one -resume argument.
+func LoadCheckpointFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CompletedKeys builds the resume skip set from checkpoint records,
+// deduplicating repeated keys (a checkpoint appended across several
+// resumed invocations may hold a job twice; the first record wins in
+// Dedup, and either way the job is complete).
+func CompletedKeys(recs []Record) map[string]bool {
+	done := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		done[r.Key] = true
+	}
+	return done
+}
+
+// Dedup drops records whose key was already seen, preserving order.
+// Merging checkpoints from overlapping invocations (a sweep resumed
+// twice, or shards run with overlapping ownership) must not
+// double-count a run in the aggregate.
+func Dedup(recs []Record) []Record {
+	seen := make(map[string]bool, len(recs))
+	out := recs[:0:0]
+	for _, r := range recs {
+		if seen[r.Key] {
+			continue
+		}
+		seen[r.Key] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunFunc executes one job. Implementations must be safe for
+// concurrent calls; the exp package supplies the simulator-backed one.
+type RunFunc func(ctx context.Context, j Job) (Record, error)
+
+// Options tunes Execute.
+type Options struct {
+	// Workers bounds the pool (0: NumCPU, clamped to the job count).
+	Workers int
+	// Skip holds job keys to treat as already complete (typically
+	// CompletedKeys of a loaded checkpoint). Skipped jobs are not run
+	// and not re-emitted; merge the checkpoint's records with the new
+	// ones before aggregating.
+	Skip map[string]bool
+}
+
+// Execute runs the jobs on a bounded worker pool, streaming each
+// record to every sink as its run completes (completion order, not job
+// order). It stops dispatching on the first run or sink error, or when
+// ctx is canceled; in-flight runs finish and their records are still
+// delivered, so a canceled sweep's checkpoint holds every completed
+// run. All sinks are closed before returning. The int result is the
+// number of jobs that ran (skipped jobs excluded).
+func Execute(ctx context.Context, jobs []Job, run RunFunc, opts Options, sinks ...Sink) (int, error) {
+	if run == nil {
+		return 0, fmt.Errorf("sweep: Execute needs a RunFunc")
+	}
+	todo := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if !opts.Skip[j.Key()] {
+			todo = append(todo, j)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // serializes sinks, firstErr, executed
+		firstErr error
+		executed int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	emit := func(rec Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return // sinks already failed; the run is not persisted
+		}
+		for _, s := range sinks {
+			if err := s.Put(rec); err != nil {
+				firstErr = fmt.Errorf("sweep: sink: %w", err)
+				cancel()
+				return
+			}
+		}
+		// Count only fully-delivered records, so the reported total
+		// never exceeds what the checkpoint actually holds.
+		executed++
+	}
+
+	next := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				start := time.Now()
+				rec, err := run(ctx, j)
+				if err != nil {
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						// A run interrupted by cancellation is not a
+						// failure; the final ctx.Err() reports it.
+						continue
+					}
+					fail(fmt.Errorf("sweep: job %s: %w", j.Key(), err))
+					continue
+				}
+				rec.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+				emit(rec)
+			}
+		}()
+	}
+dispatch:
+	for _, j := range todo {
+		select {
+		case next <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for _, s := range sinks {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sweep: sink close: %w", err)
+		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return executed, firstErr
+}

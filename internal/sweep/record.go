@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"repro/internal/sim"
+)
+
+// Record is the streamed outcome of one job: the job identity plus the
+// raw per-run metrics every sink and aggregator needs. Records carry
+// unnormalized values (normalization against a baseline run needs the
+// whole sweep, which a shard does not have), so records from different
+// shards or resumed invocations merge by simple concatenation.
+type Record struct {
+	Key       string  `json:"key"`
+	Scenario  string  `json:"scenario"`
+	Policy    string  `json:"policy"`
+	Bench     string  `json:"bench"`
+	Replicate int     `json:"replicate"`
+	Seed      int64   `json:"seed"`
+	Solver    string  `json:"solver"`
+	DurationS float64 `json:"duration_s"`
+	UseDPM    bool    `json:"use_dpm"`
+	Baseline  bool    `json:"baseline,omitempty"`
+
+	HotSpotPct    float64 `json:"hot_spot_pct"`
+	GradientPct   float64 `json:"gradient_pct"`
+	CyclePct      float64 `json:"cycle_pct"`
+	AvgPowerW     float64 `json:"avg_power_w"`
+	EnergyJ       float64 `json:"energy_j"`
+	MaxTempC      float64 `json:"max_temp_c"`
+	AvgCoreTempC  float64 `json:"avg_core_temp_c"`
+	MaxVerticalC  float64 `json:"max_vertical_c"`
+	Migrations    int     `json:"migrations"`
+	MeanResponseS float64 `json:"mean_response_s"`
+	JobsCompleted int     `json:"jobs_completed"`
+	Ticks         int     `json:"ticks"`
+
+	// ElapsedMS is the wall-clock cost of the run. It is informational
+	// (perf tracking in CI); aggregation ignores it, so records from
+	// machines of different speeds still merge to identical matrices.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// NewRecord flattens a simulation result into the job's record.
+func NewRecord(j Job, r *sim.Result, elapsedMS float64) Record {
+	return Record{
+		Key:       j.Key(),
+		Scenario:  j.Scenario.ID(),
+		Policy:    j.Policy,
+		Bench:     j.Bench,
+		Replicate: j.Replicate,
+		Seed:      j.Seed,
+		Solver:    j.Solver.String(),
+		DurationS: j.DurationS,
+		UseDPM:    j.UseDPM,
+		Baseline:  j.Baseline,
+
+		HotSpotPct:    r.Metrics.HotSpotPct,
+		GradientPct:   r.Metrics.GradientPct,
+		CyclePct:      r.Metrics.CyclePct,
+		AvgPowerW:     r.AvgPowerW,
+		EnergyJ:       r.EnergyJ,
+		MaxTempC:      r.Metrics.MaxTempC,
+		AvgCoreTempC:  r.Metrics.AvgCoreTempC,
+		MaxVerticalC:  r.Metrics.MaxVerticalC,
+		Migrations:    r.Sched.TotalMigration,
+		MeanResponseS: r.Sched.MeanResponseS,
+		JobsCompleted: r.JobsCompleted,
+		Ticks:         r.Ticks,
+		ElapsedMS:     elapsedMS,
+	}
+}

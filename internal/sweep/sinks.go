@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Sink consumes records as jobs complete. Execute serializes Put calls
+// (streaming order follows completion, not expansion, order), so
+// implementations need no internal locking. Close is called once after
+// the last Put, even when the sweep ends early.
+type Sink interface {
+	Put(Record) error
+	Close() error
+}
+
+// Collector is the in-memory aggregation sink: it simply accumulates
+// every record for post-hoc aggregation (exp.Run feeds its matrix
+// builder from one of these).
+type Collector struct {
+	Records []Record
+}
+
+// Put implements Sink.
+func (c *Collector) Put(r Record) error {
+	c.Records = append(c.Records, r)
+	return nil
+}
+
+// Close implements Sink.
+func (c *Collector) Close() error { return nil }
+
+// JSONLSink streams one JSON object per line. Pointed at a file opened
+// in append mode it doubles as the sweep's checkpoint: every line is
+// self-delimiting, so a sweep killed mid-write loses at most the
+// partial final line, which LoadCheckpoint tolerates.
+type JSONLSink struct {
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink writes records to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// Put implements Sink.
+func (s *JSONLSink) Put(r Record) error { return s.enc.Encode(r) }
+
+// Close implements Sink. When the sink writes a regular file (a
+// checkpoint), it syncs it so a finished shard's records are durable
+// before the process exits; pipes and terminals need no sync.
+func (s *JSONLSink) Close() error {
+	f, ok := s.w.(*os.File)
+	if !ok {
+		return nil
+	}
+	if fi, err := f.Stat(); err != nil || !fi.Mode().IsRegular() {
+		return nil
+	}
+	return f.Sync()
+}
+
+// csvHeader is the CSVSink column order.
+var csvHeader = []string{
+	"key", "scenario", "policy", "bench", "replicate", "seed", "solver",
+	"duration_s", "use_dpm", "baseline", "hot_spot_pct", "gradient_pct",
+	"cycle_pct", "avg_power_w", "energy_j", "max_temp_c", "avg_core_temp_c",
+	"max_vertical_c", "migrations", "mean_response_s", "jobs_completed",
+	"ticks", "elapsed_ms",
+}
+
+// CSVSink streams records as CSV rows with a header line.
+type CSVSink struct {
+	w      *csv.Writer
+	wrote  bool
+	closed bool
+}
+
+// NewCSVSink writes records to w as CSV.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Put implements Sink.
+func (s *CSVSink) Put(r Record) error {
+	if !s.wrote {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.wrote = true
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := []string{
+		r.Key, r.Scenario, r.Policy, r.Bench, strconv.Itoa(r.Replicate),
+		strconv.FormatInt(r.Seed, 10), r.Solver, g(r.DurationS),
+		strconv.FormatBool(r.UseDPM), strconv.FormatBool(r.Baseline),
+		g(r.HotSpotPct), g(r.GradientPct), g(r.CyclePct), g(r.AvgPowerW),
+		g(r.EnergyJ), g(r.MaxTempC), g(r.AvgCoreTempC), g(r.MaxVerticalC),
+		strconv.Itoa(r.Migrations), g(r.MeanResponseS),
+		strconv.Itoa(r.JobsCompleted), strconv.Itoa(r.Ticks), g(r.ElapsedMS),
+	}
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	// Flush per record: the CSV stream is a progress surface (a sweep
+	// may run for hours) and rows are cheap relative to a run.
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Close implements Sink.
+func (s *CSVSink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// multi fans one record out to several sinks.
+type multi struct{ sinks []Sink }
+
+// MultiSink combines sinks; Put stops at the first error, Close closes
+// every sink and returns the first error.
+func MultiSink(sinks ...Sink) Sink { return &multi{sinks: sinks} }
+
+// Put implements Sink.
+func (m *multi) Put(r Record) error {
+	for _, s := range m.sinks {
+		if err := s.Put(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (m *multi) Close() error {
+	var first error
+	for _, s := range m.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = fmt.Errorf("sweep: sink close: %w", err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,236 @@
+// Package sweep is the experiment orchestration layer: it expands a
+// declarative Spec (the cross product of scenarios x policies x
+// benchmarks x replicate seeds x solver kinds x durations) into a
+// deterministic job list, executes it on a bounded worker pool, and
+// streams per-run Records to pluggable sinks as runs complete. Stable
+// job keys make any sweep shardable across invocations (Shard) and
+// resumable from a JSONL checkpoint (LoadCheckpoint + Options.Skip).
+// Package exp builds the paper's figure matrices on top of it.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// DefaultSeedStride separates replicate seed streams. It is large and
+// prime so that the per-benchmark seed offsets (seed + bench ID) of one
+// replicate can never collide with another replicate's stream.
+const DefaultSeedStride = 7919
+
+// Scenario names one stack-plus-thermal-model configuration of the
+// sweep space. The zero GridRows/GridCols pair selects the block-level
+// thermal model; setting both switches that scenario to grid mode.
+type Scenario struct {
+	// Name is the stable identity used in job keys and reports; leave
+	// empty to derive it from Exp (plus the grid dimensions, if any).
+	Name string `json:"name"`
+	// Exp selects the floorplan stack (EXP-1..EXP-6).
+	Exp floorplan.Experiment `json:"exp"`
+	// JointResistivityMKW overrides the paper's 0.23 m·K/W when nonzero.
+	JointResistivityMKW float64 `json:"joint_resistivity_mkw,omitempty"`
+	// GridRows/GridCols switch the thermal model to grid mode when both
+	// are positive.
+	GridRows int `json:"grid_rows,omitempty"`
+	GridCols int `json:"grid_cols,omitempty"`
+}
+
+// ID returns the scenario's stable identity. Every field that changes
+// the simulated system contributes, so two distinct scenarios can
+// never collide into one job key.
+func (s Scenario) ID() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	id := s.Exp.String()
+	if s.GridRows > 0 && s.GridCols > 0 {
+		id = fmt.Sprintf("%s/grid%dx%d", id, s.GridRows, s.GridCols)
+	}
+	if s.JointResistivityMKW != 0 {
+		id = fmt.Sprintf("%s/jr%g", id, s.JointResistivityMKW)
+	}
+	return id
+}
+
+// ScenariosFor wraps plain experiments as block-model scenarios.
+func ScenariosFor(exps []floorplan.Experiment) []Scenario {
+	out := make([]Scenario, len(exps))
+	for i, e := range exps {
+		out[i] = Scenario{Exp: e}
+	}
+	return out
+}
+
+// Spec declares a sweep as a cross product. Every dimension is
+// explicit, so Expand is a pure function of the Spec and two runs of
+// the same Spec enumerate identical job lists — the property sharding
+// and resumption rely on.
+type Spec struct {
+	// Scenarios are the stack/thermal-model configurations.
+	Scenarios []Scenario
+	// Policies are exp policy names (see exp.PolicyOrder).
+	Policies []string
+	// Benchmarks are Table I benchmark names.
+	Benchmarks []string
+	// Replicates is the number of independent seeds per cell; 0 means 1.
+	Replicates int
+	// Seed is the base seed; replicate r uses Seed + r*SeedStride.
+	Seed int64
+	// SeedStride separates replicate seed streams (0 selects
+	// DefaultSeedStride). Replicate 0 always runs at exactly Seed, so a
+	// single-replicate sweep reproduces the pre-orchestrator results.
+	SeedStride int64
+	// Solvers are the thermal solve paths to sweep (empty: cached).
+	Solvers []thermal.SolverKind
+	// DurationsS are the simulated durations to sweep (empty: 300 s).
+	DurationsS []float64
+	// UseDPM composes the fixed-timeout power manager into every run.
+	UseDPM bool
+	// Baseline is the policy normalized against (empty: "Default").
+	// When it is not already in Policies, Expand appends baseline-only
+	// jobs so every (scenario, benchmark, replicate, solver, duration)
+	// combination has a reference run.
+	Baseline string
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Replicates <= 0 {
+		s.Replicates = 1
+	}
+	if s.SeedStride == 0 {
+		s.SeedStride = DefaultSeedStride
+	}
+	if len(s.Solvers) == 0 {
+		s.Solvers = []thermal.SolverKind{thermal.SolverCached}
+	}
+	if len(s.DurationsS) == 0 {
+		s.DurationsS = []float64{300}
+	}
+	if s.Baseline == "" {
+		s.Baseline = "Default"
+	}
+	return s
+}
+
+// ReplicateSeed returns the base seed of replicate r under the spec.
+func (s Spec) ReplicateSeed(r int) int64 {
+	stride := s.SeedStride
+	if stride == 0 {
+		stride = DefaultSeedStride
+	}
+	return s.Seed + int64(r)*stride
+}
+
+// Job is one fully-specified simulation run of a sweep.
+type Job struct {
+	Scenario  Scenario
+	Policy    string
+	Bench     string
+	Replicate int
+	// Seed is the replicate's base seed (trace generation additionally
+	// offsets it by the benchmark ID, as exp.Run always has).
+	Seed      int64
+	Solver    thermal.SolverKind
+	DurationS float64
+	UseDPM    bool
+	// Baseline marks a reference run appended by Expand because the
+	// baseline policy was not part of Spec.Policies; aggregators use it
+	// for normalization but do not report it as a cell.
+	Baseline bool
+}
+
+// Key returns the job's stable identity: equal for the same logical
+// run across processes, shards, and resumed sweeps, and independent of
+// expansion order. The replicate's seed is part of the key, so
+// resuming against a checkpoint written under a different base seed
+// correctly reruns everything instead of silently reusing the old
+// seed's results. Baseline-only runs share keys with regular runs of
+// the same policy so a resumed sweep with a widened policy roster
+// still skips them.
+func (j Job) Key() string {
+	dpm := "nodpm"
+	if j.UseDPM {
+		dpm = "dpm"
+	}
+	return fmt.Sprintf("%s|%s|%s|r%d.s%d|%s|%gs|%s",
+		j.Scenario.ID(), j.Policy, j.Bench, j.Replicate, j.Seed, j.Solver, j.DurationS, dpm)
+}
+
+// Hash returns the stable FNV-1a hash of the job key used for
+// sharding. It depends only on Key, so every invocation of the same
+// spec agrees on which shard owns which job.
+func (j Job) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(j.Key()))
+	return h.Sum64()
+}
+
+// Expand enumerates the cross product in canonical order (policy,
+// scenario, benchmark, replicate, solver, duration), appending
+// baseline-only jobs at the end when the baseline policy is absent
+// from Policies. The order is deterministic but aggregators must not
+// depend on it: sharded and resumed sweeps deliver subsets.
+func (s Spec) Expand() []Job {
+	s = s.withDefaults()
+	var jobs []Job
+	add := func(policy string, baseline bool) {
+		for _, sc := range s.Scenarios {
+			for _, bench := range s.Benchmarks {
+				for r := 0; r < s.Replicates; r++ {
+					for _, solver := range s.Solvers {
+						for _, dur := range s.DurationsS {
+							jobs = append(jobs, Job{
+								Scenario:  sc,
+								Policy:    policy,
+								Bench:     bench,
+								Replicate: r,
+								Seed:      s.ReplicateSeed(r),
+								Solver:    solver,
+								DurationS: dur,
+								UseDPM:    s.UseDPM,
+								Baseline:  baseline,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	hasBaseline := false
+	for _, p := range s.Policies {
+		if p == s.Baseline {
+			hasBaseline = true
+		}
+		add(p, false)
+	}
+	if !hasBaseline {
+		add(s.Baseline, true)
+	}
+	return jobs
+}
+
+// Shard selects the jobs owned by shard index out of count shards by
+// stable job hash. Shards of the same job list are disjoint and their
+// union is the whole list, so N invocations with -shard 0/N .. N-1/N
+// together cover one full sweep.
+func Shard(jobs []Job, index, count int) ([]Job, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("sweep: shard count must be positive, got %d", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("sweep: shard index %d out of range [0,%d)", index, count)
+	}
+	if count == 1 {
+		return jobs, nil
+	}
+	var out []Job
+	for _, j := range jobs {
+		if j.Hash()%uint64(count) == uint64(index) {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TraceCache memoizes Generate so that every run in a sweep replaying
+// the same (benchmark, core count, duration, seed) combination shares
+// one trace slice. Generation is deterministic in the config, so a
+// cached trace is identical to a regenerated one; sharing it is what
+// guarantees different policies — possibly running in different
+// workers, shards, or resumed invocations — see the exact same arrival
+// sequence. Safe for concurrent use; at most one goroutine generates a
+// given trace while others wait for it.
+type TraceCache struct {
+	mu sync.Mutex
+	m  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	jobs []Job
+	err  error
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{m: make(map[string]*traceEntry)}
+}
+
+func cacheKey(cfg GenConfig) string {
+	return fmt.Sprintf("%s|%d|%g|%d|%g|%g",
+		cfg.Bench.Name, cfg.NumCores, cfg.DurationS, cfg.Seed, cfg.MeanJobS, cfg.SigmaLog)
+}
+
+// Get returns the trace for cfg, generating it on first use. Callers
+// must treat the returned slice as read-only — it is shared.
+func (c *TraceCache) Get(cfg GenConfig) ([]Job, error) {
+	c.mu.Lock()
+	e, ok := c.m[cacheKey(cfg)]
+	if !ok {
+		e = &traceEntry{}
+		c.m[cacheKey(cfg)] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.jobs, e.err = Generate(cfg)
+	})
+	return e.jobs, e.err
+}
+
+// Len reports how many distinct traces have been requested.
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTraceCacheSharesAndMatchesGenerate(t *testing.T) {
+	b, err := ByName("Web-high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GenConfig{Bench: b, NumCores: 8, DurationS: 30, Seed: 7}
+	c := NewTraceCache()
+
+	var wg sync.WaitGroup
+	got := make([][]Job, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs, err := c.Get(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = jobs
+		}(i)
+	}
+	wg.Wait()
+
+	direct, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], direct) {
+		t.Fatal("cached trace differs from direct generation")
+	}
+	for i := 1; i < len(got); i++ {
+		if &got[i][0] != &got[0][0] {
+			t.Fatal("concurrent Gets returned distinct trace slices")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d traces, want 1", c.Len())
+	}
+
+	other := cfg
+	other.Seed = 8
+	jobs2, err := c.Get(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(jobs2, direct) {
+		t.Fatal("different seeds share a trace")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d traces, want 2", c.Len())
+	}
+}
+
+func TestTraceCachePropagatesErrors(t *testing.T) {
+	c := NewTraceCache()
+	if _, err := c.Get(GenConfig{NumCores: 0, DurationS: 30}); err == nil {
+		t.Fatal("cache accepted invalid config")
+	}
+}
