@@ -1,17 +1,31 @@
 #!/usr/bin/env sh
 # Convert `go test -bench` output (stdin) to a JSON benchmark report
-# (stdout). Used by CI to produce BENCH_ci.json and to (re)generate the
-# committed baseline:
+# (stdout). With -benchmem the per-op allocation columns are captured
+# alongside wall time, so CI tracks allocs/op regressions like time
+# regressions. Used by CI to produce BENCH_ci.json and to (re)generate
+# the committed baseline:
 #
-#   go test -run xxx -bench 'SteadyState|Transient|Sweep' -benchtime 1x -count 1 . \
+#   go test -run xxx -bench 'SteadyState|Transient|Sweep|Fig|RunTick|SimulatedSecond' \
+#     -benchtime 1x -benchmem -count 1 . ./internal/sim \
 #     | sh .github/bench_to_json.sh > .github/bench_baseline.json
+#
+# (./internal/sim carries BenchmarkRunTick; omitting it regenerates a
+# baseline without the allocation-free per-tick gate.)
 awk '
 BEGIN { printf "{\n  \"benchmarks\": [" ; n = 0 }
-$1 ~ /^Benchmark/ && $NF == "ns/op" {
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
   name = $1
   sub(/-[0-9]+$/, "", name)
+  bytes = "" ; allocs = ""
+  for (i = 4; i < NF; i++) {
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
   if (n++) printf ","
-  printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s}", name, $(NF-1)
+  printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, $3
+  if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
 }
 END { printf "\n  ]\n}\n" }
 '

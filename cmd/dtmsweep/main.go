@@ -27,8 +27,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
@@ -37,6 +40,57 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/thermal"
 )
+
+// stopProfiles flushes any active CPU/heap profiles; idempotent. It is
+// a package variable so fatal can run it before os.Exit.
+var stopProfiles = func() {}
+
+// fatal is log.Fatal with profiler teardown first.
+func fatal(v ...any) {
+	stopProfiles()
+	log.Fatal(v...)
+}
+
+// fatalf is log.Fatalf with profiler teardown first.
+func fatalf(format string, v ...any) {
+	stopProfiles()
+	log.Fatalf(format, v...)
+}
+
+// startProfiles begins CPU profiling and returns an idempotent teardown
+// that stops it and writes the heap profile.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuPath != "" {
+				pprof.StopCPUProfile()
+			}
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		})
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -61,7 +115,20 @@ func main() {
 	durationsFlag := flag.String("durations", "", "comma-separated simulated durations in seconds (sweep mode; default: -duration)")
 	gridFlag := flag.String("grid", "", "'RxC': additionally sweep every stack in grid thermal mode with R x C cells per layer (sweep mode)")
 	workersFlag := flag.Int("workers", 0, "worker pool size (0: one per CPU)")
+	cpuProfFlag := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with go tool pprof)")
+	memProfFlag := flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	flag.Parse()
+
+	// Profiling hooks for the hot-path work: the tick pipeline is
+	// allocation-free in steady state, so a heap profile of a sweep
+	// should be dominated by per-run setup (factorizations, traces) —
+	// anything per-tick showing up here is a regression worth chasing.
+	// Every exit path below goes through fatal(), which flushes the
+	// profiles first: log.Fatal's os.Exit would skip the defer and
+	// leave a truncated CPU profile exactly when a failed long sweep
+	// most needs inspecting.
+	stopProfiles = startProfiles(*cpuProfFlag, *memProfFlag)
+	defer stopProfiles()
 
 	if *statsFlag {
 		defer func() {
@@ -88,14 +155,14 @@ func main() {
 			dpm:        *dpmFlag,
 			workers:    *workersFlag,
 		}); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
 
 	solver, err := thermal.ParseSolverKind(*solverFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	f := exp.FigureConfig{DurationS: *durFlag, Seed: *seedFlag, Solver: solver, Replicates: *repFlag}
 	if *benchFlag != "" {
@@ -111,7 +178,7 @@ func main() {
 			err = t.Render(w)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w)
 	}
@@ -119,40 +186,40 @@ func main() {
 	switch *figFlag {
 	case 0:
 		if *csvFlag {
-			log.Fatal("-csv requires selecting a single figure")
+			fatal("-csv requires selecting a single figure")
 		}
 		if _, _, err := exp.WriteAllFigures(w, f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case 2:
 		render(exp.Fig2Report())
 	case 3:
 		hs, perf, _, err := exp.Fig3Report(f)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		render(hs)
 		render(perf)
 	case 4:
 		t, _, err := exp.Fig4Report(f)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		render(t)
 	case 5:
 		t, _, err := exp.Fig5Report(f)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		render(t)
 	case 6:
 		t, _, err := exp.Fig6Report(f)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		render(t)
 	default:
-		log.Fatalf("unknown figure %d (want 2..6 or 0 for all)", *figFlag)
+		fatalf("unknown figure %d (want 2..6 or 0 for all)", *figFlag)
 	}
 }
 

@@ -188,3 +188,27 @@ func TestRunContextCanceled(t *testing.T) {
 		t.Fatalf("RunContext on canceled ctx: %v", err)
 	}
 }
+
+// TestSweepRecordsFullTickCount drives the lost-tick fix through the
+// orchestrated sweep path: a 0.3 s run at the paper's 100 ms tick is
+// exactly 3 ticks, but int(0.3/0.1) truncated to 2 before the fix
+// (float division lands at 2.9999999999999996), so every record of a
+// sweep over a non-representable duration silently under-simulated.
+func TestSweepRecordsFullTickCount(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.DurationS = 0.3
+	cfg.Policies = []string{"Default"}
+	col := &sweep.Collector{}
+	spec := cfg.Spec()
+	if _, err := sweep.Execute(context.Background(), spec.Expand(), NewRunner(), sweep.Options{}, col); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Records) == 0 {
+		t.Fatal("sweep produced no records")
+	}
+	for _, r := range col.Records {
+		if r.Ticks != 3 {
+			t.Errorf("record %s ran %d ticks, want 3 (0.3 s at 100 ms)", r.Key, r.Ticks)
+		}
+	}
+}

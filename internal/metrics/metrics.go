@@ -81,15 +81,27 @@ func (m *HotSpotMeter) PerCorePct() []float64 {
 type GradientMeter struct {
 	ThresholdC float64
 	stack      *floorplan.Stack
-	samples    int
-	above      int
-	sumMax     float64
-	maxSeen    float64
+	// layerIdx holds each layer's block indices, precomputed because
+	// Stack.BlockIndex is a linear scan and Record runs every tick.
+	layerIdx [][]int
+	samples  int
+	above    int
+	sumMax   float64
+	maxSeen  float64
 }
 
 // NewGradientMeter builds a meter over the stack's layers.
 func NewGradientMeter(stack *floorplan.Stack, thresholdC float64) *GradientMeter {
-	return &GradientMeter{ThresholdC: thresholdC, stack: stack}
+	g := &GradientMeter{ThresholdC: thresholdC, stack: stack}
+	g.layerIdx = make([][]int, len(stack.Layers))
+	for li, layer := range stack.Layers {
+		idx := make([]int, len(layer.Blocks))
+		for i, b := range layer.Blocks {
+			idx[i] = stack.BlockIndex(b)
+		}
+		g.layerIdx[li] = idx
+	}
+	return g
 }
 
 // Record adds one sample of per-block temperatures (stack block order).
@@ -98,10 +110,10 @@ func (g *GradientMeter) Record(blockTempsC []float64) error {
 		return fmt.Errorf("metrics: gradient meter got %d temps for %d blocks", len(blockTempsC), g.stack.NumBlocks())
 	}
 	worst := 0.0
-	for _, layer := range g.stack.Layers {
+	for _, idx := range g.layerIdx {
 		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, b := range layer.Blocks {
-			t := blockTempsC[g.stack.BlockIndex(b)]
+		for _, bi := range idx {
+			t := blockTempsC[bi]
 			lo = math.Min(lo, t)
 			hi = math.Max(hi, t)
 		}

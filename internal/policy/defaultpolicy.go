@@ -18,6 +18,9 @@ type Default struct {
 	// lastCore remembers where a job's "process" last ran, emulating the
 	// Solaris locality heuristic (keyed by job ID modulo a small table).
 	lastCore map[int]int
+	// mig is the reused one-slot migration buffer for the rebalancing
+	// decision (TickDecision buffers are policy-owned, see TickDecision).
+	mig [1]Migration
 }
 
 // NewDefault returns the baseline load balancer.
@@ -67,7 +70,8 @@ func (d *Default) Tick(v *View) TickDecision {
 		}
 	}
 	if v.QueueLens[longest]-v.QueueLens[shortest] >= d.ImbalanceThreshold {
-		return TickDecision{Migrations: []Migration{{From: longest, To: shortest, Tail: true}}}
+		d.mig[0] = Migration{From: longest, To: shortest, Tail: true}
+		return TickDecision{Migrations: d.mig[:]}
 	}
 	return TickDecision{}
 }
@@ -78,6 +82,8 @@ func (d *Default) Tick(v *View) TickDecision {
 // in the next sampling interval once it has cooled below the threshold.
 type CGate struct {
 	alloc *Default
+	gate  []bool          // reused TickDecision.Gate buffer
+	lv    []power.VfLevel // reused TickDecision.Levels buffer
 }
 
 // NewCGate returns the clock gating policy.
@@ -95,13 +101,15 @@ func (p *CGate) Tick(v *View) TickDecision {
 		return TickDecision{}
 	}
 	d := p.alloc.Tick(v)
-	gate := make([]bool, v.NumCores())
-	for c := range gate {
-		gate[c] = v.TempsC[c] > v.ThresholdC
+	if len(p.gate) != v.NumCores() {
+		p.gate = make([]bool, v.NumCores())
+		// All cores stay at the default V/f setting (level 0).
+		p.lv = make([]power.VfLevel, v.NumCores())
 	}
-	d.Gate = gate
-	// All cores stay at the default V/f setting.
-	lv := make([]power.VfLevel, v.NumCores())
-	d.Levels = lv
+	for c := range p.gate {
+		p.gate[c] = v.TempsC[c] > v.ThresholdC
+	}
+	d.Gate = p.gate
+	d.Levels = p.lv
 	return d
 }

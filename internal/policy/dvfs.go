@@ -14,6 +14,7 @@ import (
 // step per interval. Every core scales independently.
 type DVFSTT struct {
 	alloc *Default
+	lv    []power.VfLevel // reused TickDecision.Levels buffer
 }
 
 // NewDVFSTT returns the temperature-triggered DVFS policy.
@@ -31,16 +32,18 @@ func (p *DVFSTT) Tick(v *View) TickDecision {
 		return TickDecision{}
 	}
 	d := p.alloc.Tick(v)
-	lv := make([]power.VfLevel, v.NumCores())
-	for c := range lv {
+	if len(p.lv) != v.NumCores() {
+		p.lv = make([]power.VfLevel, v.NumCores())
+	}
+	for c := range p.lv {
 		cur := v.Levels[c]
 		if v.TempsC[c] > v.ThresholdC {
-			lv[c] = v.DVFS.Clamp(cur + 1)
+			p.lv[c] = v.DVFS.Clamp(cur + 1)
 		} else {
-			lv[c] = v.DVFS.Clamp(cur - 1)
+			p.lv[c] = v.DVFS.Clamp(cur - 1)
 		}
 	}
-	d.Levels = lv
+	d.Levels = p.lv
 	return d
 }
 
@@ -54,6 +57,7 @@ type DVFSUtil struct {
 	// small load increases do not immediately saturate the core
 	// (default 1.1).
 	Headroom float64
+	lv       []power.VfLevel // reused TickDecision.Levels buffer
 }
 
 // NewDVFSUtil returns the utilization-based DVFS policy.
@@ -71,18 +75,20 @@ func (p *DVFSUtil) Tick(v *View) TickDecision {
 		return TickDecision{}
 	}
 	d := p.alloc.Tick(v)
-	lv := make([]power.VfLevel, v.NumCores())
-	for c := range lv {
+	if len(p.lv) != v.NumCores() {
+		p.lv = make([]power.VfLevel, v.NumCores())
+	}
+	for c := range p.lv {
 		if v.QueueLens[c] > 1 {
 			// Backlogged: full speed regardless of last interval.
-			lv[c] = 0
+			p.lv[c] = 0
 			continue
 		}
 		// Demand normalized to the default frequency.
 		demand := v.Utils[c] * v.DVFS.FreqScale(v.Levels[c]) * p.Headroom
-		lv[c] = v.DVFS.LowestLevelFor(math.Min(demand, 1))
+		p.lv[c] = v.DVFS.LowestLevelFor(math.Min(demand, 1))
 	}
-	d.Levels = lv
+	d.Levels = p.lv
 	return d
 }
 
@@ -113,7 +119,9 @@ func (p *DVFSFLP) Tick(v *View) TickDecision {
 	if p.levels == nil || len(p.levels) != v.NumCores() {
 		p.levels = flpLevels(v)
 	}
-	d.Levels = append([]power.VfLevel(nil), p.levels...)
+	// The static assignment is returned directly: TickDecision buffers
+	// stay policy-owned and the engine copies them before the next tick.
+	d.Levels = p.levels
 	return d
 }
 
@@ -152,6 +160,10 @@ func flpLevels(v *View) []power.VfLevel {
 // [11], [10].
 type Migr struct {
 	alloc *Default
+	// Per-tick scratch, reused so the hot loop stays allocation-free.
+	hot  []int
+	used []bool
+	migs []Migration
 }
 
 // NewMigr returns the migration policy.
@@ -170,24 +182,54 @@ func (p *Migr) Tick(v *View) TickDecision {
 	}
 	var d TickDecision
 	// Hot cores, hottest first.
-	var hot []int
+	hot := p.hot[:0]
 	for c := 0; c < v.NumCores(); c++ {
 		if v.TempsC[c] > v.ThresholdC && v.QueueLens[c] > 0 {
 			hot = append(hot, c)
 		}
 	}
-	sort.SliceStable(hot, func(a, b int) bool { return v.TempsC[hot[a]] > v.TempsC[hot[b]] })
-	used := make(map[int]bool, len(hot))
-	for _, h := range hot {
-		used[h] = true
+	p.hot = hot
+	if len(hot) == 0 {
+		return d
+	}
+	// Stable insertion sort, hottest first: hot is at most NumCores
+	// entries and sort.SliceStable's reflection machinery would allocate
+	// on exactly the thermally interesting ticks.
+	for i := 1; i < len(hot); i++ {
+		for j := i; j > 0 && v.TempsC[hot[j]] > v.TempsC[hot[j-1]]; j-- {
+			hot[j], hot[j-1] = hot[j-1], hot[j]
+		}
+	}
+	if len(p.used) != v.NumCores() {
+		p.used = make([]bool, v.NumCores())
+	}
+	for c := range p.used {
+		p.used[c] = false
 	}
 	for _, h := range hot {
-		target := coolestCore(v.TempsC, func(c int) bool { return !used[c] })
+		p.used[h] = true
+	}
+	p.migs = p.migs[:0]
+	for _, h := range hot {
+		// Coolest not-yet-used core, scanned inline (a closure through
+		// coolestCore would escape and allocate).
+		target := -1
+		for c := range v.TempsC {
+			if p.used[c] {
+				continue
+			}
+			if target < 0 || v.TempsC[c] < v.TempsC[target] {
+				target = c
+			}
+		}
 		if target < 0 || v.TempsC[target] >= v.TempsC[h] {
 			break
 		}
-		used[target] = true
-		d.Migrations = append(d.Migrations, Migration{From: h, To: target})
+		p.used[target] = true
+		p.migs = append(p.migs, Migration{From: h, To: target})
+	}
+	if len(p.migs) > 0 {
+		d.Migrations = p.migs
 	}
 	return d
 }

@@ -94,6 +94,7 @@ func Registry(numCores int, seed int64) ([]Policy, error) {
 type StaticLevels struct {
 	Level power.VfLevel
 	alloc *Default
+	lv    []power.VfLevel // reused TickDecision.Levels buffer
 }
 
 // NewStaticLevels pins all cores at the given level.
@@ -109,9 +110,11 @@ func (s *StaticLevels) AssignCore(v *View, job workload.Job) int { return s.allo
 
 // Tick implements Policy.
 func (s *StaticLevels) Tick(v *View) TickDecision {
-	lv := make([]power.VfLevel, v.NumCores())
-	for i := range lv {
-		lv[i] = s.Level
+	if len(s.lv) != v.NumCores() {
+		s.lv = make([]power.VfLevel, v.NumCores())
 	}
-	return TickDecision{Levels: lv}
+	for i := range s.lv {
+		s.lv[i] = s.Level // refreshed per tick: Level is a public knob
+	}
+	return TickDecision{Levels: s.lv}
 }

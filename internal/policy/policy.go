@@ -51,6 +51,12 @@ type Migration struct {
 
 // TickDecision is what a policy wants changed this interval. Nil slices
 // mean "no change".
+//
+// Buffer ownership: the slices are owned by the policy and are only
+// valid until its next Tick call — policies reuse them across ticks to
+// keep the simulator's hot loop allocation-free. Callers that retain a
+// decision must copy the slices (the simulation engine copies them into
+// its own per-run buffers immediately).
 type TickDecision struct {
 	// Levels is the desired V/f level per core.
 	Levels []power.VfLevel
@@ -81,21 +87,6 @@ func leastLoaded(queueLens []int, preferred int) int {
 	}
 	if preferred >= 0 && preferred < len(queueLens) && queueLens[preferred] == queueLens[best] {
 		return preferred
-	}
-	return best
-}
-
-// coolestCore returns the coolest core for which eligible returns true,
-// or -1 when none qualifies.
-func coolestCore(tempsC []float64, eligible func(int) bool) int {
-	best := -1
-	for c := range tempsC {
-		if eligible != nil && !eligible(c) {
-			continue
-		}
-		if best < 0 || tempsC[c] < tempsC[best] {
-			best = c
-		}
 	}
 	return best
 }

@@ -358,3 +358,85 @@ func TestStaticLevels(t *testing.T) {
 		}
 	}
 }
+
+// TestProbabilitiesInto pins the in-place distribution read: it must
+// match the allocating form, fall back to uniform when the state has
+// drained, reject wrong-length destinations loudly, and — being the
+// per-tick instrumentation hook — allocate nothing.
+func TestProbabilitiesInto(t *testing.T) {
+	eng, err := NewProbEngine(4, 3, 1, func(int, float64) float64 { return 0.1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{60, 70, 80, 90}
+	if err := eng.Observe(temps); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(80, 85, temps); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4)
+	eng.ProbabilitiesInto(dst)
+	want := eng.Probabilities()
+	for c := range want {
+		if dst[c] != want[c] {
+			t.Errorf("core %d: ProbabilitiesInto %g != Probabilities %g", c, dst[c], want[c])
+		}
+	}
+	sum := 0.0
+	for _, p := range dst {
+		sum += p
+	}
+	if diff := sum - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("probabilities sum to %g, want 1", sum)
+	}
+	if avg := testing.AllocsPerRun(100, func() { eng.ProbabilitiesInto(dst) }); avg > 0 {
+		t.Errorf("ProbabilitiesInto allocates %.1f per call, want 0", avg)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-length dst did not panic")
+			}
+		}()
+		eng.ProbabilitiesInto(make([]float64, 3))
+	}()
+	// Drained state falls back to uniform.
+	hot := []float64{90, 90, 90, 90}
+	for i := 0; i < 20; i++ {
+		if err := eng.Observe(hot); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Update(80, 85, hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.ProbabilitiesInto(dst)
+	for c, p := range dst {
+		if p != 0.25 {
+			t.Errorf("drained core %d probability %g, want uniform 0.25", c, p)
+		}
+	}
+}
+
+// TestMigrTickAllocFree pins the migration policy's per-tick cost on
+// the thermally interesting path: with hot cores present (sorting and
+// migration planning active) a steady Tick must not allocate once its
+// scratch buffers are warm.
+func TestMigrTickAllocFree(t *testing.T) {
+	p := NewMigr()
+	v := testView(t, 8, nil)
+	for c := range v.TempsC {
+		v.TempsC[c] = 70
+		v.QueueLens[c] = 1
+	}
+	v.TempsC[2], v.TempsC[5] = 90, 88 // two hot cores, queued work
+	p.Tick(v)                         // warm the scratch
+	if avg := testing.AllocsPerRun(100, func() { p.Tick(v) }); avg > 0 {
+		t.Errorf("Migr.Tick allocates %.1f per call with hot cores, want 0", avg)
+	}
+	d := p.Tick(v)
+	if len(d.Migrations) != 2 {
+		t.Fatalf("expected 2 migrations, got %d", len(d.Migrations))
+	}
+}

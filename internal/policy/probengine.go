@@ -127,20 +127,30 @@ func (e *ProbEngine) Update(tprefC, thresholdC float64, latestC []float64) error
 // threshold), it falls back to uniform.
 func (e *ProbEngine) Probabilities() []float64 {
 	out := make([]float64, len(e.raw))
+	e.ProbabilitiesInto(out)
+	return out
+}
+
+// ProbabilitiesInto is Probabilities writing into a caller-owned dst of
+// length NumCores, for instrumentation that samples the distribution
+// every tick without allocating. It panics on a wrong-length dst.
+func (e *ProbEngine) ProbabilitiesInto(dst []float64) {
+	if len(dst) != len(e.raw) {
+		panic(fmt.Sprintf("policy: ProbabilitiesInto got %d entries for %d cores", len(dst), len(e.raw)))
+	}
 	sum := 0.0
 	for _, v := range e.raw {
 		sum += v
 	}
 	if sum <= 0 {
-		for c := range out {
-			out[c] = 1 / float64(len(out))
+		for c := range e.raw {
+			dst[c] = 1 / float64(len(e.raw))
 		}
-		return out
+		return
 	}
 	for c, v := range e.raw {
-		out[c] = v / sum
+		dst[c] = v / sum
 	}
-	return out
 }
 
 // Sample draws a core from the current distribution. The random source

@@ -123,13 +123,26 @@ type ChipInput struct {
 // the crossbar follows active-core count and total memory traffic, as
 // described in Section IV-B.
 func (m Model) Compute(stack *floorplan.Stack, in ChipInput) ([]float64, error) {
+	out := make([]float64, stack.NumBlocks())
+	if err := m.ComputeInto(out, stack, in); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ComputeInto is Compute writing into a caller-owned dst of length
+// stack.NumBlocks(). dst is fully overwritten; the hot tick loop reuses
+// one power buffer across the whole run.
+func (m Model) ComputeInto(dst []float64, stack *floorplan.Stack, in ChipInput) error {
 	if len(in.Cores) != stack.NumCores() {
-		return nil, fmt.Errorf("power: got %d core inputs for %d cores", len(in.Cores), stack.NumCores())
+		return fmt.Errorf("power: got %d core inputs for %d cores", len(in.Cores), stack.NumCores())
 	}
 	if in.BlockTempsC != nil && len(in.BlockTempsC) != stack.NumBlocks() {
-		return nil, fmt.Errorf("power: got %d block temperatures for %d blocks", len(in.BlockTempsC), stack.NumBlocks())
+		return fmt.Errorf("power: got %d block temperatures for %d blocks", len(in.BlockTempsC), stack.NumBlocks())
 	}
-	out := make([]float64, stack.NumBlocks())
+	if len(dst) != stack.NumBlocks() {
+		return fmt.Errorf("power: destination has %d entries for %d blocks", len(dst), stack.NumBlocks())
+	}
 
 	// Chip-wide activity summaries.
 	activeCores := 0
@@ -172,9 +185,9 @@ func (m Model) Compute(stack *floorplan.Stack, in ChipInput) ([]float64, error) 
 			}
 			p += m.Leak.BlockLeakage(b.Area(), temp, volt) * leakDensityFactor(b.Kind)
 		}
-		out[bi] = p
+		dst[bi] = p
 	}
-	return out, nil
+	return nil
 }
 
 // leakDensityFactor scales the logic-calibrated base leakage density
@@ -199,8 +212,15 @@ func leakDensityFactor(k floorplan.BlockKind) float64 {
 }
 
 // onMemoryLayer reports whether the block sits on a layer with no cores.
+// It scans instead of calling Layer.Cores, which allocates; this runs per
+// filler block inside the per-tick power computation.
 func onMemoryLayer(stack *floorplan.Stack, b *floorplan.Block) bool {
-	return len(stack.Layers[b.Layer].Cores()) == 0
+	for _, blk := range stack.Layers[b.Layer].Blocks {
+		if blk.IsCore() {
+			return false
+		}
+	}
+	return true
 }
 
 // Total sums a block power vector.

@@ -21,10 +21,13 @@ type LeakageModel struct {
 	C1                 float64 // 1/K
 	C2                 float64 // 1/K²
 	// GCap saturates the temperature factor. The quadratic is a local
-	// fit; above ~90 °C its slope makes the chip-level leakage feedback
-	// loop gain exceed unity on 4-layer stacks, which is outside the
-	// regime the fit (and the paper's experiments) cover. The default
-	// caps g at its 90 °C value.
+	// fit; well above the paper's 85 °C emergency threshold its slope
+	// makes the chip-level leakage feedback loop gain exceed unity on
+	// 4-layer stacks, which is outside the regime the fit (and the
+	// paper's experiments) cover. The default caps g at its 85 °C value
+	// — the emergency threshold itself, the hottest point the managed
+	// system is meant to reach (TestDefaultGCapCalibration pins the
+	// constant to the polynomial).
 	GCap float64
 }
 

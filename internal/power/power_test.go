@@ -122,7 +122,7 @@ func TestLeakageCalibration(t *testing.T) {
 		t.Fatal(err)
 	}
 	// At the 383 K reference the uncapped density must be exactly
-	// 0.5 W/mm² ([5]); the default model saturates at the 90 °C value.
+	// 0.5 W/mm² ([5]); the default model saturates at the 85 °C value.
 	uncapped := l
 	uncapped.GCap = 1.0
 	if got := uncapped.BlockLeakage(1, 383-273.15, 1); math.Abs(got-0.5) > 1e-9 {
@@ -138,6 +138,32 @@ func TestLeakageCalibration(t *testing.T) {
 	}
 	if g := l.TempFactor(70); math.Abs(g-0.10) > 0.02 {
 		t.Errorf("TempFactor(70 °C) = %g, want ~0.10", g)
+	}
+}
+
+// TestDefaultGCapCalibration pins the saturation constant to its
+// documented calibration point: DefaultLeakage caps the temperature
+// factor at g(85 °C) — the paper's emergency threshold, the hottest
+// point the managed system is meant to reach. The GCap field comment
+// used to claim the 90 °C value (g(90 °C) ≈ 0.353) while the constant
+// was 0.25 ≈ g(85 °C); this test keeps doc and constant reconciled.
+func TestDefaultGCapCalibration(t *testing.T) {
+	l := DefaultLeakage()
+	// The uncapped quadratic at the calibration temperature.
+	dt := (85 + 273.15) - l.TRefK
+	raw := 1 + l.C1*dt + l.C2*dt*dt
+	if math.Abs(raw-l.GCap)/raw > 0.015 {
+		t.Errorf("GCap = %g, but uncapped g(85 °C) = %.6f: constant no longer matches its calibration point", l.GCap, raw)
+	}
+	// And it must NOT match the 90 °C value the old comment claimed.
+	dt90 := (90 + 273.15) - l.TRefK
+	raw90 := 1 + l.C1*dt90 + l.C2*dt90*dt90
+	if math.Abs(raw90-l.GCap)/raw90 < 0.015 {
+		t.Errorf("GCap = %g unexpectedly matches g(90 °C) = %.6f", l.GCap, raw90)
+	}
+	// TempFactor saturates exactly at GCap from the cap temperature up.
+	if got := l.TempFactor(85.5); math.Abs(got-l.GCap) > 1e-12 {
+		t.Errorf("TempFactor just above the cap point = %g, want GCap %g", got, l.GCap)
 	}
 }
 

@@ -94,10 +94,19 @@ func (m *Machine) QueueLen(core int) int { return len(m.queues[core]) }
 // QueueLens returns all queue lengths.
 func (m *Machine) QueueLens() []int {
 	out := make([]int, m.numCores)
-	for i := range out {
-		out[i] = len(m.queues[i])
-	}
+	m.QueueLensInto(out)
 	return out
+}
+
+// QueueLensInto writes all queue lengths into a caller-owned dst of
+// length NumCores. It panics on a length mismatch.
+func (m *Machine) QueueLensInto(dst []int) {
+	if len(dst) != m.numCores {
+		panic(fmt.Sprintf("sched: QueueLensInto got %d entries for %d cores", len(dst), m.numCores))
+	}
+	for i := 0; i < m.numCores; i++ {
+		dst[i] = len(m.queues[i])
+	}
 }
 
 // TotalQueued returns the number of jobs currently in the system.
@@ -130,12 +139,22 @@ func (m *Machine) IdleDurationS(core int) float64 {
 // (0 for idle cores), for the power model.
 func (m *Machine) MemActivity() []float64 {
 	out := make([]float64, m.numCores)
-	for i := range out {
+	m.MemActivityInto(out)
+	return out
+}
+
+// MemActivityInto writes the per-core memory activity into a caller-owned
+// dst of length NumCores. It panics on a length mismatch.
+func (m *Machine) MemActivityInto(dst []float64) {
+	if len(dst) != m.numCores {
+		panic(fmt.Sprintf("sched: MemActivityInto got %d entries for %d cores", len(dst), m.numCores))
+	}
+	for i := 0; i < m.numCores; i++ {
+		dst[i] = 0
 		if j := m.Running(i); j != nil {
-			out[i] = j.Job.MemActivity
+			dst[i] = j.Job.MemActivity
 		}
 	}
-	return out
 }
 
 // Migrate moves the running job of core `from` to core `to`. If `to` is
@@ -221,17 +240,30 @@ func (m *Machine) MoveTail(from, to int) error {
 // threads every cycle, so k resident threads each progress at speed/k
 // and nobody waits behind a long-running thread.
 func (m *Machine) Advance(dt float64, speed []float64) ([]float64, error) {
+	utils := make([]float64, m.numCores)
+	if err := m.AdvanceInto(utils, dt, speed); err != nil {
+		return nil, err
+	}
+	return utils, nil
+}
+
+// AdvanceInto is Advance writing the per-core busy fractions into a
+// caller-owned utils slice of length NumCores, so the per-tick loop does
+// not allocate.
+func (m *Machine) AdvanceInto(utils []float64, dt float64, speed []float64) error {
 	if dt <= 0 {
-		return nil, fmt.Errorf("sched: Advance dt must be positive, got %g", dt)
+		return fmt.Errorf("sched: Advance dt must be positive, got %g", dt)
 	}
 	if len(speed) != m.numCores {
-		return nil, fmt.Errorf("sched: got %d speeds for %d cores", len(speed), m.numCores)
+		return fmt.Errorf("sched: got %d speeds for %d cores", len(speed), m.numCores)
 	}
-	utils := make([]float64, m.numCores)
+	if len(utils) != m.numCores {
+		return fmt.Errorf("sched: got %d util entries for %d cores", len(utils), m.numCores)
+	}
 	for c := 0; c < m.numCores; c++ {
 		s := speed[c]
 		if s < 0 {
-			return nil, fmt.Errorf("sched: negative speed %g on core %d", s, c)
+			return fmt.Errorf("sched: negative speed %g on core %d", s, c)
 		}
 		wall := dt
 		busy := 0.0
@@ -290,7 +322,7 @@ func (m *Machine) Advance(dt float64, speed []float64) ([]float64, error) {
 		}
 	}
 	m.nowS += dt
-	return utils, nil
+	return nil
 }
 
 // Completed returns the finished jobs (in completion order).

@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"math"
+	"strconv"
 
 	"repro/internal/floorplan"
 	"repro/internal/metrics"
@@ -99,8 +103,123 @@ func Prewarm(cfg Config) error {
 	return err
 }
 
+// tickCount returns the number of whole sampling intervals in a run of
+// durationS seconds at tickS per tick. Plain truncation loses ticks when
+// the division lands just below an integer (0.3/0.1 = 2.9999999999999996
+// would yield 2 ticks instead of 3), silently shortening any run whose
+// duration is not exactly representable in binary; an epsilon-tolerant
+// round recovers those, while genuinely fractional tick counts
+// (0.25/0.1 = 2.5) still truncate to whole completed intervals.
+func tickCount(durationS, tickS float64) int {
+	ratio := durationS / tickS
+	rounded := math.Round(ratio)
+	if math.Abs(ratio-rounded) <= 1e-9*math.Max(1, math.Abs(ratio)) {
+		return int(rounded)
+	}
+	return int(ratio)
+}
+
+// traceWriter buffers the per-tick CSV trace and formats rows into a
+// reused byte slice, so tracing costs one buffered write per tick
+// instead of several fmt allocations and raw writer syscalls.
+type traceWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func newTraceWriter(w io.Writer) *traceWriter {
+	return &traceWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// header writes the CSV header for n cores.
+func (t *traceWriter) header(n int) error {
+	b := append(t.buf[:0], "time_s,power_w"...)
+	for c := 0; c < n; c++ {
+		b = append(b, ",core"...)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, "_c"...)
+	}
+	b = append(b, '\n')
+	t.buf = b
+	_, err := t.bw.Write(b)
+	return err
+}
+
+// row writes one trace row: time (1 decimal), total power (3 decimals),
+// then one temperature column per core (3 decimals) — the same format
+// the fmt-based writer produced.
+func (t *traceWriter) row(timeS, powerW float64, tempsC []float64) error {
+	b := strconv.AppendFloat(t.buf[:0], timeS, 'f', 1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, powerW, 'f', 3, 64)
+	for _, v := range tempsC {
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, v, 'f', 3, 64)
+	}
+	b = append(b, '\n')
+	t.buf = b
+	_, err := t.bw.Write(b)
+	return err
+}
+
+func (t *traceWriter) flush() error { return t.bw.Flush() }
+
+// engine holds one run's models and every per-tick scratch buffer,
+// preallocated once so the steady-state tick loop performs no heap
+// allocations (see TestTickLoopAllocationContract).
+type engine struct {
+	cfg     Config
+	stack   *floorplan.Stack
+	model   *thermal.Model
+	sensors *thermal.Sensors
+	machine *sched.Machine
+	tr      *thermal.Transient
+
+	collector *metrics.Collector
+	energy    *power.EnergyMeter
+	assessor  *reliability.Assessor
+	trace     *traceWriter
+
+	jobs   []workload.Job
+	jobIdx int
+	nTicks int
+	n      int // cores
+
+	res  *Result
+	view policy.View
+	done <-chan struct{}
+
+	// Per-tick scratch, reused across every tick.
+	states     []power.CoreState
+	levels     []power.VfLevel
+	utils      []float64
+	speeds     []float64
+	mem        []float64
+	queueLens  []int
+	coreIn     []power.CoreInput
+	gated      []bool
+	sleeping   []bool
+	blockPower []float64
+	nodeTemps  []float64
+	blockTemps []float64
+	coreTemps  []float64
+	readings   []float64
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// newEngine validates the config, builds the models, initializes the
+// thermal state the way the paper initializes HotSpot (idle steady state
+// with two leakage fixed-point iterations), preallocates all per-tick
+// scratch, and writes the trace header plus the t=0 row.
+func newEngine(cfg Config) (*engine, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -136,252 +255,309 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Initialize the thermal state the way the paper initializes HotSpot:
-	// with the steady-state temperatures of the idle chip (two fixed-point
-	// iterations to make leakage consistent with temperature).
-	states := make([]power.CoreState, n)
-	levels := make([]power.VfLevel, n)
-	utils := make([]float64, n)
-	for c := range states {
-		states[c] = power.StateIdle
+	e := &engine{
+		cfg:     cfg,
+		stack:   stack,
+		model:   model,
+		sensors: sensors,
+		machine: machine,
+		jobs:    jobs,
+		nTicks:  tickCount(cfg.DurationS, cfg.TickS),
+		n:       n,
+
+		states:     make([]power.CoreState, n),
+		levels:     make([]power.VfLevel, n),
+		utils:      make([]float64, n),
+		speeds:     make([]float64, n),
+		mem:        make([]float64, n),
+		queueLens:  make([]int, n),
+		coreIn:     make([]power.CoreInput, n),
+		gated:      make([]bool, n),
+		sleeping:   make([]bool, n),
+		blockPower: make([]float64, stack.NumBlocks()),
+		blockTemps: make([]float64, stack.NumBlocks()),
+		coreTemps:  make([]float64, n),
+		readings:   make([]float64, n),
 	}
-	idleIn := power.ChipInput{Cores: coreInputs(states, levels, utils, make([]float64, n)), AmbientC: cfg.Thermal.AmbientC}
-	blockPower, err := cfg.Power.Compute(stack, idleIn)
-	if err != nil {
-		return nil, err
-	}
-	nodeTemps, err := model.SteadyStateWith(blockPower, cfg.Solver)
-	if err != nil {
-		return nil, err
-	}
-	idleIn.BlockTempsC = model.BlockTemps(nodeTemps)
-	if blockPower, err = cfg.Power.Compute(stack, idleIn); err != nil {
-		return nil, err
-	}
-	if nodeTemps, err = model.SteadyStateWith(blockPower, cfg.Solver); err != nil {
-		return nil, err
+	for c := range e.states {
+		e.states[c] = power.StateIdle
 	}
 
-	tr, err := model.NewTransientWith(cfg.TickS, nodeTemps, cfg.Solver)
+	// Initialize the thermal state with the steady-state temperatures of
+	// the idle chip (two fixed-point iterations to make leakage
+	// consistent with temperature).
+	e.fillCoreInputs()
+	idleIn := power.ChipInput{Cores: e.coreIn, AmbientC: cfg.Thermal.AmbientC}
+	if err := cfg.Power.ComputeInto(e.blockPower, stack, idleIn); err != nil {
+		return nil, err
+	}
+	nodeTemps, err := model.SteadyStateWith(e.blockPower, cfg.Solver)
 	if err != nil {
 		return nil, err
 	}
-	blockTemps := model.BlockTemps(nodeTemps)
-	coreTemps := model.CoreTemps(nodeTemps)
-	readings := sensors.Read(coreTemps)
+	if err := model.BlockTempsInto(e.blockTemps, nodeTemps); err != nil {
+		return nil, err
+	}
+	idleIn.BlockTempsC = e.blockTemps
+	if err := cfg.Power.ComputeInto(e.blockPower, stack, idleIn); err != nil {
+		return nil, err
+	}
+	if nodeTemps, err = model.SteadyStateWith(e.blockPower, cfg.Solver); err != nil {
+		return nil, err
+	}
+	e.nodeTemps = nodeTemps
 
-	collector, err := metrics.NewCollector(stack, metrics.CollectorConfig{
+	if e.tr, err = model.NewTransientWith(cfg.TickS, e.nodeTemps, cfg.Solver); err != nil {
+		return nil, err
+	}
+	if err := model.BlockTempsInto(e.blockTemps, e.nodeTemps); err != nil {
+		return nil, err
+	}
+	if err := model.CoreTempsInto(e.coreTemps, e.nodeTemps); err != nil {
+		return nil, err
+	}
+	sensors.ReadInto(e.readings, e.coreTemps)
+
+	if e.collector, err = metrics.NewCollector(stack, metrics.CollectorConfig{
 		HotSpotC:    cfg.ThresholdC,
 		CycleWindow: cfg.CycleWindowTicks,
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
-	energy := power.NewEnergyMeter()
+	e.energy = power.NewEnergyMeter()
 
-	res := &Result{
+	e.res = &Result{
 		PolicyName:    cfg.Policy.Name(),
 		Exp:           cfg.Exp,
 		UseDPM:        cfg.UseDPM,
 		JobsGenerated: len(jobs),
 	}
 
-	var assessor *reliability.Assessor
 	if cfg.AssessReliability {
-		if assessor, err = reliability.NewAssessor(n, cfg.TickS); err != nil {
+		if e.assessor, err = reliability.NewAssessor(n, cfg.TickS); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.TraceWriter != nil {
-		fmt.Fprintf(cfg.TraceWriter, "time_s,power_w")
-		for c := 0; c < n; c++ {
-			fmt.Fprintf(cfg.TraceWriter, ",core%d_c", c)
+		e.trace = newTraceWriter(cfg.TraceWriter)
+		if err := e.trace.header(n); err != nil {
+			return nil, err
 		}
-		fmt.Fprintln(cfg.TraceWriter)
+		// The t=0 row: the fixed-point initialized state the run starts
+		// from, so traces cover the full temperature history.
+		if err := e.trace.row(0, power.Total(e.blockPower), e.coreTemps); err != nil {
+			return nil, err
+		}
 	}
 
-	gated := make([]bool, n)
-	sleeping := make([]bool, n)
-	jobIdx := 0
-	nTicks := int(cfg.DurationS / cfg.TickS)
-	view := &policy.View{
+	e.view = policy.View{
 		TickS:      cfg.TickS,
 		Stack:      stack,
 		DVFS:       cfg.Power.DVFS,
 		ThresholdC: cfg.ThresholdC,
 		TprefC:     cfg.TprefC,
 	}
-
-	var done <-chan struct{}
 	if cfg.Ctx != nil {
-		done = cfg.Ctx.Done()
+		e.done = cfg.Ctx.Done()
 	}
-	for tick := 0; tick < nTicks; tick++ {
-		select {
-		case <-done:
-			return nil, cfg.Ctx.Err()
-		default:
-		}
-		now := float64(tick) * cfg.TickS
-		view.NowS = now
-		view.TempsC = readings
-		view.Utils = utils
-		view.QueueLens = machine.QueueLens()
-		view.States = states
-		view.Levels = levels
-
-		// 1. Dispatch arrivals for this interval via the policy.
-		for jobIdx < len(jobs) && jobs[jobIdx].ArrivalS < now+cfg.TickS {
-			c := cfg.Policy.AssignCore(view, jobs[jobIdx])
-			if c < 0 || c >= n {
-				return nil, fmt.Errorf("sim: policy %s assigned job to invalid core %d", cfg.Policy.Name(), c)
-			}
-			if err := machine.Enqueue(jobs[jobIdx], c); err != nil {
-				return nil, err
-			}
-			if sleeping[c] {
-				sleeping[c] = false // wake on dispatch
-			}
-			jobIdx++
-			view.QueueLens = machine.QueueLens()
-		}
-
-		// 2. Policy decisions for the interval.
-		d := cfg.Policy.Tick(view)
-		if d.Levels != nil {
-			if len(d.Levels) != n {
-				return nil, fmt.Errorf("sim: policy %s returned %d levels for %d cores", cfg.Policy.Name(), len(d.Levels), n)
-			}
-			copy(levels, d.Levels)
-		}
-		for c := range gated {
-			gated[c] = false
-		}
-		if d.Gate != nil {
-			if len(d.Gate) != n {
-				return nil, fmt.Errorf("sim: policy %s returned %d gates for %d cores", cfg.Policy.Name(), len(d.Gate), n)
-			}
-			copy(gated, d.Gate)
-		}
-		for _, m := range d.Migrations {
-			if m.Tail {
-				err = machine.MoveTail(m.From, m.To)
-			} else {
-				err = machine.Migrate(m.From, m.To)
-			}
-			if err != nil {
-				return nil, err
-			}
-			// A migration target must be awake to run the job.
-			if machine.QueueLen(m.To) > 0 && sleeping[m.To] {
-				sleeping[m.To] = false
-			}
-		}
-
-		// 3. DPM: fixed timeout to sleep; waking happened at dispatch.
-		if cfg.UseDPM {
-			for c := 0; c < n; c++ {
-				if !sleeping[c] && machine.QueueLen(c) == 0 && cfg.DPM.ShouldSleep(machine.IdleDurationS(c)) {
-					sleeping[c] = true
-					res.SleepEntries++
-				}
-			}
-		}
-
-		// 4. Execute the interval.
-		speeds := make([]float64, n)
-		for c := 0; c < n; c++ {
-			switch {
-			case gated[c], sleeping[c]:
-				speeds[c] = 0
-			default:
-				speeds[c] = cfg.Power.DVFS.FreqScale(levels[c])
-			}
-			if gated[c] {
-				res.GatedTicks++
-			}
-		}
-		if utils, err = machine.Advance(cfg.TickS, speeds); err != nil {
-			return nil, err
-		}
-
-		// 5. Derive core states and compute power with the leakage loop
-		// fed by the previous interval's temperatures.
-		mem := machine.MemActivity()
-		for c := 0; c < n; c++ {
-			switch {
-			case sleeping[c]:
-				states[c] = power.StateSleep
-			case gated[c]:
-				states[c] = power.StateGated
-			case machine.QueueLen(c) > 0 || utils[c] > 0:
-				states[c] = power.StateActive
-			default:
-				states[c] = power.StateIdle
-			}
-		}
-		in := power.ChipInput{
-			Cores:       coreInputs(states, levels, utils, mem),
-			BlockTempsC: blockTemps,
-			AmbientC:    cfg.Thermal.AmbientC,
-		}
-		if blockPower, err = cfg.Power.Compute(stack, in); err != nil {
-			return nil, err
-		}
-		if err = energy.Accumulate(stack, blockPower, cfg.TickS); err != nil {
-			return nil, err
-		}
-
-		// 6. Advance the thermal network and read the sensors.
-		if nodeTemps, err = tr.Step(blockPower); err != nil {
-			return nil, err
-		}
-		blockTemps = model.BlockTemps(nodeTemps)
-		coreTemps = model.CoreTemps(nodeTemps)
-		readings = sensors.Read(coreTemps)
-
-		// 7. Metrics (on true temperatures, as the paper evaluates the
-		// simulator state, not the noisy sensor stream).
-		if err = collector.Record(blockTemps, coreTemps); err != nil {
-			return nil, err
-		}
-		if assessor != nil {
-			if err = assessor.Record(coreTemps); err != nil {
-				return nil, err
-			}
-		}
-		if cfg.TraceWriter != nil {
-			fmt.Fprintf(cfg.TraceWriter, "%.1f,%.3f", now+cfg.TickS, power.Total(blockPower))
-			for _, t := range coreTemps {
-				fmt.Fprintf(cfg.TraceWriter, ",%.3f", t)
-			}
-			fmt.Fprintln(cfg.TraceWriter)
-		}
-		res.Ticks++
-	}
-
-	res.Metrics = collector.Summarize()
-	res.FinalBlockTempsC = blockTemps
-	if assessor != nil {
-		res.Reliability = assessor.Report()
-		res.WorstCoreStress = assessor.WorstCore()
-	}
-	res.Sched = machine.ComputeStats()
-	res.JobsCompleted = res.Sched.Completed
-	res.EnergyJ = energy.TotalJ()
-	res.AvgPowerW = energy.AveragePowerW()
-	return res, nil
+	return e, nil
 }
 
-func coreInputs(states []power.CoreState, levels []power.VfLevel, utils, mem []float64) []power.CoreInput {
-	out := make([]power.CoreInput, len(states))
-	for c := range out {
-		out[c] = power.CoreInput{
-			State:       states[c],
-			Level:       levels[c],
-			Util:        utils[c],
-			MemActivity: mem[c],
+// fillCoreInputs refreshes the reused per-core power-model input buffer
+// from the current states, levels, utils, and memory activity.
+func (e *engine) fillCoreInputs() {
+	for c := range e.coreIn {
+		e.coreIn[c] = power.CoreInput{
+			State:       e.states[c],
+			Level:       e.levels[c],
+			Util:        e.utils[c],
+			MemActivity: e.mem[c],
 		}
 	}
-	return out
+}
+
+// run executes the tick loop and summarizes the results.
+func (e *engine) run() (res *Result, err error) {
+	if e.trace != nil {
+		defer func() {
+			if ferr := e.trace.flush(); ferr != nil && err == nil {
+				res, err = nil, ferr
+			}
+		}()
+	}
+	for tick := 0; tick < e.nTicks; tick++ {
+		if err := e.tick(tick); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(), nil
+}
+
+// tick advances the simulation by one sampling interval. In steady state
+// (no arriving or completing jobs, no trace writer) it performs no heap
+// allocations.
+func (e *engine) tick(tick int) error {
+	cfg := &e.cfg
+	select {
+	case <-e.done:
+		return cfg.Ctx.Err()
+	default:
+	}
+	now := float64(tick) * cfg.TickS
+	e.machine.QueueLensInto(e.queueLens)
+	e.view.NowS = now
+	e.view.TempsC = e.readings
+	e.view.Utils = e.utils
+	e.view.QueueLens = e.queueLens
+	e.view.States = e.states
+	e.view.Levels = e.levels
+
+	// 1. Dispatch arrivals for this interval via the policy.
+	for e.jobIdx < len(e.jobs) && e.jobs[e.jobIdx].ArrivalS < now+cfg.TickS {
+		c := cfg.Policy.AssignCore(&e.view, e.jobs[e.jobIdx])
+		if c < 0 || c >= e.n {
+			return fmt.Errorf("sim: policy %s assigned job to invalid core %d", cfg.Policy.Name(), c)
+		}
+		if err := e.machine.Enqueue(e.jobs[e.jobIdx], c); err != nil {
+			return err
+		}
+		if e.sleeping[c] {
+			e.sleeping[c] = false // wake on dispatch
+		}
+		e.jobIdx++
+		e.machine.QueueLensInto(e.queueLens)
+	}
+
+	// 2. Policy decisions for the interval.
+	d := cfg.Policy.Tick(&e.view)
+	if d.Levels != nil {
+		if len(d.Levels) != e.n {
+			return fmt.Errorf("sim: policy %s returned %d levels for %d cores", cfg.Policy.Name(), len(d.Levels), e.n)
+		}
+		copy(e.levels, d.Levels)
+	}
+	for c := range e.gated {
+		e.gated[c] = false
+	}
+	if d.Gate != nil {
+		if len(d.Gate) != e.n {
+			return fmt.Errorf("sim: policy %s returned %d gates for %d cores", cfg.Policy.Name(), len(d.Gate), e.n)
+		}
+		copy(e.gated, d.Gate)
+	}
+	for _, m := range d.Migrations {
+		var err error
+		if m.Tail {
+			err = e.machine.MoveTail(m.From, m.To)
+		} else {
+			err = e.machine.Migrate(m.From, m.To)
+		}
+		if err != nil {
+			return err
+		}
+		// A migration target must be awake to run the job.
+		if e.machine.QueueLen(m.To) > 0 && e.sleeping[m.To] {
+			e.sleeping[m.To] = false
+		}
+	}
+
+	// 3. DPM: fixed timeout to sleep; waking happened at dispatch.
+	if cfg.UseDPM {
+		for c := 0; c < e.n; c++ {
+			if !e.sleeping[c] && e.machine.QueueLen(c) == 0 && cfg.DPM.ShouldSleep(e.machine.IdleDurationS(c)) {
+				e.sleeping[c] = true
+				e.res.SleepEntries++
+			}
+		}
+	}
+
+	// 4. Execute the interval.
+	for c := 0; c < e.n; c++ {
+		switch {
+		case e.gated[c], e.sleeping[c]:
+			e.speeds[c] = 0
+		default:
+			e.speeds[c] = cfg.Power.DVFS.FreqScale(e.levels[c])
+		}
+		if e.gated[c] {
+			e.res.GatedTicks++
+		}
+	}
+	if err := e.machine.AdvanceInto(e.utils, cfg.TickS, e.speeds); err != nil {
+		return err
+	}
+
+	// 5. Derive core states and compute power with the leakage loop
+	// fed by the previous interval's temperatures.
+	e.machine.MemActivityInto(e.mem)
+	for c := 0; c < e.n; c++ {
+		switch {
+		case e.sleeping[c]:
+			e.states[c] = power.StateSleep
+		case e.gated[c]:
+			e.states[c] = power.StateGated
+		case e.machine.QueueLen(c) > 0 || e.utils[c] > 0:
+			e.states[c] = power.StateActive
+		default:
+			e.states[c] = power.StateIdle
+		}
+	}
+	e.fillCoreInputs()
+	in := power.ChipInput{
+		Cores:       e.coreIn,
+		BlockTempsC: e.blockTemps,
+		AmbientC:    cfg.Thermal.AmbientC,
+	}
+	if err := cfg.Power.ComputeInto(e.blockPower, e.stack, in); err != nil {
+		return err
+	}
+	if err := e.energy.Accumulate(e.stack, e.blockPower, cfg.TickS); err != nil {
+		return err
+	}
+
+	// 6. Advance the thermal network and read the sensors.
+	if err := e.tr.StepInto(e.nodeTemps, e.blockPower); err != nil {
+		return err
+	}
+	if err := e.model.BlockTempsInto(e.blockTemps, e.nodeTemps); err != nil {
+		return err
+	}
+	if err := e.model.CoreTempsInto(e.coreTemps, e.nodeTemps); err != nil {
+		return err
+	}
+	e.sensors.ReadInto(e.readings, e.coreTemps)
+
+	// 7. Metrics (on true temperatures, as the paper evaluates the
+	// simulator state, not the noisy sensor stream).
+	if err := e.collector.Record(e.blockTemps, e.coreTemps); err != nil {
+		return err
+	}
+	if e.assessor != nil {
+		if err := e.assessor.Record(e.coreTemps); err != nil {
+			return err
+		}
+	}
+	if e.trace != nil {
+		if err := e.trace.row(now+cfg.TickS, power.Total(e.blockPower), e.coreTemps); err != nil {
+			return err
+		}
+	}
+	e.res.Ticks++
+	return nil
+}
+
+// finish summarizes the run into the result.
+func (e *engine) finish() *Result {
+	res := e.res
+	res.Metrics = e.collector.Summarize()
+	res.FinalBlockTempsC = append([]float64(nil), e.blockTemps...)
+	if e.assessor != nil {
+		res.Reliability = e.assessor.Report()
+		res.WorstCoreStress = e.assessor.WorstCore()
+	}
+	res.Sched = e.machine.ComputeStats()
+	res.JobsCompleted = res.Sched.Completed
+	res.EnergyJ = e.energy.TotalJ()
+	res.AvgPowerW = e.energy.AveragePowerW()
+	return res
 }

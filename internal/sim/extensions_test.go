@@ -50,8 +50,9 @@ func TestRunTraceWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != r.Ticks+1 {
-		t.Fatalf("trace has %d lines, want header + %d ticks", len(lines), r.Ticks)
+	// Header, the t=0 initial-state row, then one row per tick.
+	if len(lines) != r.Ticks+2 {
+		t.Fatalf("trace has %d lines, want header + t=0 row + %d ticks", len(lines), r.Ticks)
 	}
 	head := strings.Split(lines[0], ",")
 	if head[0] != "time_s" || head[1] != "power_w" {
@@ -61,9 +62,17 @@ func TestRunTraceWriter(t *testing.T) {
 	if len(head) != 2+stack.NumCores() {
 		t.Errorf("trace header has %d columns, want %d", len(head), 2+stack.NumCores())
 	}
-	row := strings.Split(lines[1], ",")
-	if len(row) != len(head) {
-		t.Errorf("row width %d != header width %d", len(row), len(head))
+	for i, line := range lines[1:] {
+		row := strings.Split(line, ",")
+		if len(row) != len(head) {
+			t.Fatalf("row %d width %d != header width %d", i, len(row), len(head))
+		}
+	}
+	if first := strings.Split(lines[1], ",")[0]; first != "0.0" {
+		t.Errorf("first trace row starts at t=%s, want the fixed-point initialized t=0.0 state", first)
+	}
+	if second := strings.Split(lines[2], ",")[0]; second != "0.1" {
+		t.Errorf("second trace row at t=%s, want 0.1", second)
 	}
 }
 

@@ -131,5 +131,6 @@ func NewGridModel(stack *floorplan.Stack, p Params, rows, cols int) (*Model, err
 
 	m.buildPackage(sb, firstPkg, bounds.W*mmToM, bounds.H*mmToM)
 	m.G = sb.Build()
+	m.finalizeHotPath()
 	return m, nil
 }

@@ -3,6 +3,7 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/floorplan"
@@ -57,6 +58,16 @@ type Model struct {
 	// (area-weighted average over the block's cells).
 	blockReadback map[int]map[int]float64 // block -> node -> weight
 
+	// Flattened hot-path forms of powerFrac and blockReadback, built once
+	// by finalizeHotPath in deterministic (sorted) order so per-tick
+	// ExpandPowerInto/BlockTempsInto walk contiguous slices instead of
+	// maps — and so grid-mode readback sums are bit-reproducible across
+	// runs (map iteration order is not).
+	powerEntries []powerEntry
+	readback     [][]readEntry // indexed by block
+	// coreBlock maps CoreID -> stack block index for CoreTempsInto.
+	coreBlock []int
+
 	numBlocks int
 
 	// fp memoizes the conductance-system content hash that keys the
@@ -65,9 +76,64 @@ type Model struct {
 	fp     string
 }
 
+// powerEntry is one term of the node-power expansion:
+// p[node] += frac * blockPower[block].
+type powerEntry struct {
+	node, block int
+	frac        float64
+}
+
+// readEntry is one term of a block's temperature readback:
+// T_block += w * nodeTemps[node].
+type readEntry struct {
+	node int
+	w    float64
+}
+
 // NumBlocks returns the number of floorplan blocks the model carries
 // power and readback for.
 func (m *Model) NumBlocks() int { return m.numBlocks }
+
+// finalizeHotPath flattens the construction-time maps into sorted slices
+// for the per-tick hot path. Both constructors call it exactly once,
+// after powerFrac and blockReadback are complete.
+func (m *Model) finalizeHotPath() {
+	nodes := make([]int, 0, len(m.powerFrac))
+	for nd := range m.powerFrac {
+		nodes = append(nodes, nd)
+	}
+	sort.Ints(nodes)
+	for _, nd := range nodes {
+		fracs := m.powerFrac[nd]
+		blocks := make([]int, 0, len(fracs))
+		for b := range fracs {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			m.powerEntries = append(m.powerEntries, powerEntry{node: nd, block: b, frac: fracs[b]})
+		}
+	}
+	m.readback = make([][]readEntry, m.numBlocks)
+	for b := 0; b < m.numBlocks; b++ {
+		weights := m.blockReadback[b]
+		nds := make([]int, 0, len(weights))
+		for nd := range weights {
+			nds = append(nds, nd)
+		}
+		sort.Ints(nds)
+		entries := make([]readEntry, 0, len(nds))
+		for _, nd := range nds {
+			entries = append(entries, readEntry{node: nd, w: weights[nd]})
+		}
+		m.readback[b] = entries
+	}
+	cores := m.Stack.Cores()
+	m.coreBlock = make([]int, len(cores))
+	for id, c := range cores {
+		m.coreBlock[id] = m.Stack.BlockIndex(c)
+	}
+}
 
 // NewBlockModel builds a block-mode network: one node per floorplan
 // block, HotSpot block-model style.
@@ -172,6 +238,7 @@ func NewBlockModel(stack *floorplan.Stack, p Params) (*Model, error) {
 	m.buildPackage(sb, firstPkg, bottom.Bounds().W*mmToM, bottom.Bounds().H*mmToM)
 
 	m.G = sb.Build()
+	m.finalizeHotPath()
 	return m, nil
 }
 
@@ -296,42 +363,91 @@ func (m *Model) buildPackage(sb *linalg.SparseBuilder, firstPkg int, dieW, dieH 
 
 // ExpandPower maps a per-block power vector (W) to a per-node vector.
 func (m *Model) ExpandPower(blockPower []float64) ([]float64, error) {
-	if len(blockPower) != m.numBlocks {
-		return nil, fmt.Errorf("thermal: power vector has %d entries, model has %d blocks", len(blockPower), m.numBlocks)
-	}
 	p := make([]float64, m.NumNodes)
-	for node, fracs := range m.powerFrac {
-		for b, f := range fracs {
-			p[node] += f * blockPower[b]
-		}
+	if err := m.ExpandPowerInto(p, blockPower); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
+// ExpandPowerInto is ExpandPower writing into a caller-owned dst of
+// length NumNodes. dst is fully overwritten.
+func (m *Model) ExpandPowerInto(dst, blockPower []float64) error {
+	if len(blockPower) != m.numBlocks {
+		return fmt.Errorf("thermal: power vector has %d entries, model has %d blocks", len(blockPower), m.numBlocks)
+	}
+	if len(dst) != m.NumNodes {
+		return fmt.Errorf("thermal: power destination has %d entries, model has %d nodes", len(dst), m.NumNodes)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, e := range m.powerEntries {
+		dst[e.node] += e.frac * blockPower[e.block]
+	}
+	return nil
+}
+
 // BlockTemps reduces a per-node temperature vector to per-block
-// temperatures (°C), in stack block order.
+// temperatures (°C), in stack block order. It panics on a wrong-length
+// input (a wiring bug), keeping the old loud out-of-range failure
+// instead of silently returning a nil field.
 func (m *Model) BlockTemps(nodeTemps []float64) []float64 {
 	out := make([]float64, m.numBlocks)
-	for b, weights := range m.blockReadback {
-		s := 0.0
-		for node, w := range weights {
-			s += w * nodeTemps[node]
-		}
-		out[b] = s
+	if err := m.BlockTempsInto(out, nodeTemps); err != nil {
+		panic(err)
 	}
 	return out
 }
 
+// BlockTempsInto is BlockTemps writing into a caller-owned dst of length
+// NumBlocks. dst is fully overwritten.
+func (m *Model) BlockTempsInto(dst, nodeTemps []float64) error {
+	if len(dst) != m.numBlocks {
+		return fmt.Errorf("thermal: block temps destination has %d entries, model has %d blocks", len(dst), m.numBlocks)
+	}
+	if len(nodeTemps) != m.NumNodes {
+		return fmt.Errorf("thermal: got %d node temps, model has %d nodes", len(nodeTemps), m.NumNodes)
+	}
+	for b, entries := range m.readback {
+		s := 0.0
+		for _, e := range entries {
+			s += e.w * nodeTemps[e.node]
+		}
+		dst[b] = s
+	}
+	return nil
+}
+
 // CoreTemps extracts per-core temperatures (°C, indexed by CoreID) from a
-// per-node temperature vector.
+// per-node temperature vector. Like BlockTemps it panics on a
+// wrong-length input.
 func (m *Model) CoreTemps(nodeTemps []float64) []float64 {
-	blockT := m.BlockTemps(nodeTemps)
-	cores := m.Stack.Cores()
-	out := make([]float64, len(cores))
-	for id, c := range cores {
-		out[id] = blockT[m.Stack.BlockIndex(c)]
+	out := make([]float64, len(m.coreBlock))
+	if err := m.CoreTempsInto(out, nodeTemps); err != nil {
+		panic(err)
 	}
 	return out
+}
+
+// CoreTempsInto is CoreTemps writing into a caller-owned dst of length
+// NumCores. It reads each core's block directly from the node vector, so
+// no per-block scratch is needed.
+func (m *Model) CoreTempsInto(dst, nodeTemps []float64) error {
+	if len(dst) != len(m.coreBlock) {
+		return fmt.Errorf("thermal: core temps destination has %d entries, stack has %d cores", len(dst), len(m.coreBlock))
+	}
+	if len(nodeTemps) != m.NumNodes {
+		return fmt.Errorf("thermal: got %d node temps, model has %d nodes", len(nodeTemps), m.NumNodes)
+	}
+	for id, b := range m.coreBlock {
+		s := 0.0
+		for _, e := range m.readback[b] {
+			s += e.w * nodeTemps[e.node]
+		}
+		dst[id] = s
+	}
+	return nil
 }
 
 // SteadyState solves for the equilibrium temperature (°C per node) under

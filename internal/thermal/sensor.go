@@ -41,6 +41,18 @@ func NewSensors(cfg SensorConfig) (*Sensors, error) {
 // quantization. The input slice is not modified.
 func (s *Sensors) Read(trueTempsC []float64) []float64 {
 	out := make([]float64, len(trueTempsC))
+	s.ReadInto(out, trueTempsC)
+	return out
+}
+
+// ReadInto is Read writing into a caller-owned dst of the same length
+// (dst may alias the input: each entry is read before it is written).
+// It panics on a length mismatch, like the other *Into hot-path
+// methods.
+func (s *Sensors) ReadInto(dst, trueTempsC []float64) {
+	if len(dst) != len(trueTempsC) {
+		panic(fmt.Sprintf("thermal: ReadInto got %d destination entries for %d temps", len(dst), len(trueTempsC)))
+	}
 	for i, t := range trueTempsC {
 		v := t
 		if s.cfg.NoiseStdDevC > 0 {
@@ -49,9 +61,8 @@ func (s *Sensors) Read(trueTempsC []float64) []float64 {
 		if q := s.cfg.QuantizationC; q > 0 {
 			v = quantize(v, q)
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
 }
 
 func quantize(v, q float64) float64 {

@@ -32,6 +32,9 @@ type Transient struct {
 	// state: temperature rise above ambient per node
 	rise []float64
 	rhs  []float64
+	// pn is the expanded per-node power scratch reused by every Step, so
+	// the steady-state tick path performs no allocations.
+	pn []float64
 }
 
 // NewTransient prepares an integrator with time step dt seconds, starting
@@ -78,6 +81,7 @@ func (m *Model) NewTransientWith(dt float64, init []float64, kind SolverKind) (*
 		cdt:    cdt,
 		rise:   make([]float64, n),
 		rhs:    make([]float64, n),
+		pn:     make([]float64, n),
 	}
 	if chol, ok := solver.(*linalg.Cholesky); ok {
 		tr.chol = chol
@@ -96,24 +100,43 @@ func (t *Transient) Dt() float64 { return t.dt }
 
 // Step advances the network by one dt under the given per-block power (W)
 // and returns the new node temperatures (°C). The returned slice is
-// freshly allocated.
+// freshly allocated; the hot path uses StepInto instead.
 func (t *Transient) Step(blockPower []float64) ([]float64, error) {
-	pn, err := t.m.ExpandPower(blockPower)
-	if err != nil {
+	out := make([]float64, len(t.rise))
+	if err := t.StepInto(out, blockPower); err != nil {
 		return nil, err
 	}
-	for i := range t.rhs {
-		t.rhs[i] = t.cdt[i]*t.rise[i] + pn[i]
+	return out, nil
+}
+
+// StepInto advances the network by one dt under the given per-block power
+// (W) and writes the new node temperatures (°C) into the caller-owned dst
+// of length NumNodes. It performs no allocations: the power expansion and
+// triangular-solve scratch are integrator-owned buffers.
+func (t *Transient) StepInto(dst, blockPower []float64) error {
+	if len(dst) != len(t.rise) {
+		return fmt.Errorf("thermal: StepInto destination has %d entries, want %d", len(dst), len(t.rise))
 	}
+	if err := t.m.ExpandPowerInto(t.pn, blockPower); err != nil {
+		return err
+	}
+	for i := range t.rhs {
+		t.rhs[i] = t.cdt[i]*t.rise[i] + t.pn[i]
+	}
+	var err error
 	if t.chol != nil {
 		err = t.chol.SolveBuffered(t.rise, t.rhs, t.scratch)
 	} else {
 		err = t.solver.Solve(t.rise, t.rhs)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("thermal: transient step failed: %w", err)
+		return fmt.Errorf("thermal: transient step failed: %w", err)
 	}
-	return t.Temps(), nil
+	ambient := t.m.Params.AmbientC
+	for i, r := range t.rise {
+		dst[i] = r + ambient
+	}
+	return nil
 }
 
 // Temps returns the current node temperatures in °C.
