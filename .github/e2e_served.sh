@@ -1,0 +1,113 @@
+#!/usr/bin/env sh
+# End-to-end serving-layer test: boots dtmserved on a random port and
+# proves the HTTP path cannot drift from the in-process path.
+#
+#   1. A small EXP1/EXP2 sweep streamed over HTTP is byte-identical to
+#      the same spec run directly (dtmsweep -canonical), both through
+#      the dtmsweep -remote client and through raw curl.
+#   2. Repeating the identical request is served entirely from the
+#      result cache: the hit counter increments and not one new
+#      simulated tick is recorded.
+#   3. SSE framing delivers every record plus a terminal done event.
+#   4. SIGTERM drains gracefully (exit 0).
+#
+# Run from the repo root: sh .github/e2e_served.sh
+# Needs: go, curl, jq.
+set -eu
+
+WORKDIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "e2e: FAIL: $*" >&2
+	[ -f "$WORKDIR/server.log" ] && sed 's/^/e2e: server: /' "$WORKDIR/server.log" >&2
+	exit 1
+}
+
+echo "e2e: building binaries"
+go build -o "$WORKDIR/dtmserved" ./cmd/dtmserved
+go build -o "$WORKDIR/dtmsweep" ./cmd/dtmsweep
+
+# The sweep under test: 2 scenarios x 2 policies x 1 benchmark, 2
+# simulated seconds. Small enough for CI, big enough to exercise the
+# pool, the cache, and multi-record streaming.
+SWEEP_ARGS="-exps 1,2 -policies Default,Adapt3D -benchmarks Web-med -duration 2 -seed 1"
+JOBS=4
+
+"$WORKDIR/dtmserved" -addr 127.0.0.1:0 -addr-file "$WORKDIR/addr.txt" -workers 4 \
+	>"$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+i=0
+while [ ! -s "$WORKDIR/addr.txt" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "server never wrote its address file"
+	kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+	sleep 0.1
+done
+ADDR=$(cat "$WORKDIR/addr.txt")
+echo "e2e: dtmserved on $ADDR (pid $SERVER_PID)"
+
+curl -sf "http://$ADDR/healthz" >/dev/null || fail "healthz not responding"
+
+metric() {
+	curl -sf "http://$ADDR/metrics" | jq -e ".$1" || fail "metric $1 unreadable"
+}
+
+echo "e2e: 1/4 served stream vs direct run"
+"$WORKDIR/dtmsweep" -out jsonl -canonical $SWEEP_ARGS \
+	>"$WORKDIR/direct.jsonl" 2>/dev/null || fail "direct sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$ADDR" $SWEEP_ARGS \
+	>"$WORKDIR/remote.jsonl" 2>/dev/null || fail "remote sweep failed"
+cmp -s "$WORKDIR/direct.jsonl" "$WORKDIR/remote.jsonl" ||
+	fail "served records differ from the direct run (serving-layer drift)"
+[ "$(wc -l <"$WORKDIR/remote.jsonl")" -eq "$JOBS" ] ||
+	fail "expected $JOBS records, got $(wc -l <"$WORKDIR/remote.jsonl")"
+
+# The same spec as a raw curl client (the JSON body mirrors the flags
+# above) must produce the same bytes again.
+BODY='{"spec":{"scenarios":[{"exp":"EXP-1"},{"exp":"EXP-2"}],"policies":["Default","Adapt3D"],"benchmarks":["Web-med"],"durations_s":[2],"seed":1}}'
+curl -sf -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/curl.jsonl" || fail "curl sweep failed"
+cmp -s "$WORKDIR/direct.jsonl" "$WORKDIR/curl.jsonl" ||
+	fail "curl-streamed records differ from the direct run"
+
+echo "e2e: 2/4 repeated request is served from the result cache"
+HITS0=$(metric cache_hits_total)
+TICKS0=$(metric sim_ticks_total)
+COMPLETED0=$(metric jobs_completed_total)
+[ "$TICKS0" -gt 0 ] || fail "server recorded no simulated ticks for the first sweep"
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$ADDR" $SWEEP_ARGS \
+	>"$WORKDIR/remote2.jsonl" 2>/dev/null || fail "repeat remote sweep failed"
+cmp -s "$WORKDIR/remote.jsonl" "$WORKDIR/remote2.jsonl" ||
+	fail "cached replay differs from the first stream"
+HITS1=$(metric cache_hits_total)
+TICKS1=$(metric sim_ticks_total)
+COMPLETED1=$(metric jobs_completed_total)
+[ "$HITS1" -eq $((HITS0 + JOBS)) ] ||
+	fail "cache hits went $HITS0 -> $HITS1, want +$JOBS"
+[ "$TICKS1" -eq "$TICKS0" ] ||
+	fail "repeat request simulated $((TICKS1 - TICKS0)) new ticks, want 0"
+[ "$COMPLETED1" -eq "$COMPLETED0" ] ||
+	fail "repeat request ran $((COMPLETED1 - COMPLETED0)) new jobs, want 0"
+
+echo "e2e: 3/4 SSE framing"
+curl -sf -H 'Accept: text/event-stream' -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/sse.txt" ||
+	fail "SSE sweep failed"
+[ "$(grep -c '^event: record$' "$WORKDIR/sse.txt")" -eq "$JOBS" ] ||
+	fail "SSE stream lost records"
+grep -q '^event: done$' "$WORKDIR/sse.txt" || fail "SSE stream has no done event"
+
+echo "e2e: 4/4 graceful drain on SIGTERM"
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+[ "$STATUS" -eq 0 ] || fail "server exited $STATUS on SIGTERM, want 0"
+grep -q "stopped" "$WORKDIR/server.log" || fail "server log records no clean stop"
+
+echo "e2e: PASS"

@@ -1,0 +1,98 @@
+// Command dtmserved is the long-running thermal-simulation service: it
+// serves the DATE'09 sweep space over HTTP, running submitted
+// sweep/simulation jobs on a bounded worker pool and streaming records
+// back as JSONL (or SSE), with identical jobs deduplicated through an
+// LRU result cache keyed by the orchestrator's deterministic job keys.
+//
+// Usage:
+//
+//	dtmserved                        # listen on :8080
+//	dtmserved -addr 127.0.0.1:0      # ephemeral port (logged, see -addr-file)
+//	dtmserved -workers 8 -cache 8192
+//
+// Point existing workflows at it with `dtmsweep -out jsonl -remote
+// http://host:8080`, or curl it directly (see the README's API
+// section). SIGTERM/SIGINT drain gracefully: in-flight requests finish
+// streaming (up to -drain-timeout), new sweeps are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtmserved: ")
+
+	addrFlag := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFileFlag := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts booting on a random port)")
+	workersFlag := flag.Int("workers", 0, "simulation worker pool size (0: one per CPU)")
+	cacheFlag := flag.Int("cache", 0, "result cache capacity in records (0: 4096)")
+	maxJobsFlag := flag.Int("max-jobs", 0, "reject sweep requests expanding past this many jobs (0: 4096)")
+	drainFlag := flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGTERM before forcing them")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:         *workersFlag,
+		CacheEntries:    *cacheFlag,
+		MaxJobsPerSweep: *maxJobsFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if *addrFileFlag != "" {
+		// Written atomically (tmp + rename) so a script polling the file
+		// never reads a partial address.
+		tmp := *addrFileFlag + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFileFlag); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip /healthz to 503 and refuse new sweeps
+	// immediately (so keep-alive clients and load balancers see the
+	// instance leave the pool at the start of the window), let
+	// streaming requests finish, then cancel whatever is left.
+	log.Printf("signal received, draining (timeout %s)", *drainFlag)
+	srv.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain timeout exceeded, canceling in-flight jobs")
+	}
+	srv.Stop()
+	fmt.Fprintln(os.Stderr, "dtmserved: stopped")
+}

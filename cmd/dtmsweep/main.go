@@ -18,6 +18,8 @@
 //	dtmsweep -out jsonl -checkpoint ck.jsonl          # streaming sweep
 //	dtmsweep -out csv -shard 1/4 -checkpoint s1.jsonl # shard 1 of 4
 //	dtmsweep -out jsonl -resume ck.jsonl -checkpoint ck.jsonl  # resume
+//	dtmsweep -out jsonl -canonical                    # deterministic byte-stable stream
+//	dtmsweep -out jsonl -remote http://host:8080      # run on a dtmserved instance
 package main
 
 import (
@@ -106,6 +108,8 @@ func main() {
 	repFlag := flag.Int("replicates", 1, "independent seeds per cell; >1 reports mean±stddev")
 
 	outFlag := flag.String("out", "", "switch to streaming sweep mode and write per-run records to stdout as csv or jsonl")
+	remoteFlag := flag.String("remote", "", "run the sweep on a dtmserved instance at this base URL (e.g. http://host:8080) instead of locally (sweep mode)")
+	canonFlag := flag.Bool("canonical", false, "emit records in canonical job order with elapsed_ms stripped, byte-identical across runs and to a dtmserved stream (sweep mode)")
 	shardFlag := flag.String("shard", "", "run only shard i of n ('i/n', 0-based) of the sweep's job list (sweep mode)")
 	resumeFlag := flag.String("resume", "", "JSONL checkpoint of a previous invocation; completed jobs are skipped (sweep mode)")
 	ckFlag := flag.String("checkpoint", "", "append every completed run to this JSONL file (sweep mode)")
@@ -140,6 +144,8 @@ func main() {
 	if *outFlag != "" {
 		if err := sweepMode(sweepFlags{
 			out:        *outFlag,
+			remote:     *remoteFlag,
+			canonical:  *canonFlag,
 			shard:      *shardFlag,
 			resume:     *resumeFlag,
 			checkpoint: *ckFlag,
@@ -225,12 +231,13 @@ func main() {
 
 type sweepFlags struct {
 	out, shard, resume, checkpoint string
+	remote                         string
 	exps, policies, benchmarks     string
 	solvers, durations, grid       string
 	duration                       float64
 	seed                           int64
 	replicates, workers            int
-	dpm                            bool
+	dpm, canonical                 bool
 }
 
 func splitList(s string) []string {
@@ -323,7 +330,9 @@ func buildSpec(f sweepFlags) (sweep.Spec, error) {
 // sweepMode expands, shards, optionally resumes, and executes the
 // sweep, streaming records to stdout and the checkpoint file. SIGINT
 // cancels cleanly: in-flight runs stop at their next simulated tick
-// and everything already completed is in the checkpoint.
+// and everything already completed is in the checkpoint. With -remote
+// the jobs run on a dtmserved instance instead of locally; the sinks,
+// checkpoint, and resume semantics are unchanged.
 func sweepMode(f sweepFlags) error {
 	spec, err := buildSpec(f)
 	if err != nil {
@@ -332,6 +341,7 @@ func sweepMode(f sweepFlags) error {
 	jobs := spec.Expand()
 	total := len(jobs)
 
+	shardIdx, shardCnt := 0, 0
 	if f.shard != "" {
 		idxS, cntS, ok := strings.Cut(f.shard, "/")
 		idx, err1 := strconv.Atoi(idxS)
@@ -342,6 +352,7 @@ func sweepMode(f sweepFlags) error {
 		if jobs, err = sweep.Shard(jobs, idx, cnt); err != nil {
 			return err
 		}
+		shardIdx, shardCnt = idx, cnt
 	}
 
 	opts := sweep.Options{Workers: f.workers}
@@ -354,15 +365,39 @@ func sweepMode(f sweepFlags) error {
 		fmt.Fprintf(os.Stderr, "dtmsweep: resuming: %d completed runs in %s\n", len(opts.Skip), f.resume)
 	}
 
-	var sinks []sweep.Sink
+	var out sweep.Sink
 	switch f.out {
 	case "jsonl":
-		sinks = append(sinks, sweep.NewJSONLSink(os.Stdout))
+		out = sweep.NewJSONLSink(os.Stdout)
 	case "csv":
-		sinks = append(sinks, sweep.NewCSVSink(os.Stdout))
+		out = sweep.NewCSVSink(os.Stdout)
 	default:
 		return fmt.Errorf("bad -out %q (want csv or jsonl)", f.out)
 	}
+	if f.canonical && f.remote == "" {
+		// Canonical mode: records reach stdout in expansion order with
+		// the wall-clock field stripped, so the stream is a pure
+		// function of the spec — byte-identical across runs and to what
+		// dtmserved streams for the same request. The checkpoint sink
+		// below stays completion-ordered: it is a durability surface,
+		// and buffering it would lose finished runs on a crash.
+		ordered := jobs
+		if len(opts.Skip) > 0 {
+			ordered = make([]sweep.Job, 0, len(jobs))
+			for _, j := range jobs {
+				if !opts.Skip[j.Key()] {
+					ordered = append(ordered, j)
+				}
+			}
+		}
+		out = sweep.NewOrderedSink(sweep.StripElapsed(out), ordered)
+	}
+	// The checkpoint sink goes FIRST: records are delivered to sinks in
+	// order and delivery stops at the first failure, so checkpoint-first
+	// guarantees every record that reached stdout (and any consumer
+	// downstream of it) is also durable — a resumed run can then never
+	// re-emit a record the consumer already saw.
+	var sinks []sweep.Sink
 	if f.checkpoint != "" {
 		ck, err := os.OpenFile(f.checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -370,6 +405,19 @@ func sweepMode(f sweepFlags) error {
 		}
 		defer ck.Close()
 		sinks = append(sinks, sweep.NewJSONLSink(ck))
+	}
+	sinks = append(sinks, out)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if f.remote != "" {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "dtmsweep: %d jobs in sweep, %d in this shard, %d to run on %s\n",
+			total, len(jobs), len(jobs)-countSkipped(jobs, opts.Skip), f.remote)
+		n, err := remoteSweep(ctx, f.remote, spec, shardIdx, shardCnt, opts.Skip, sinks...)
+		fmt.Fprintf(os.Stderr, "dtmsweep: %d records from %s in %.1fs\n", n, f.remote, time.Since(start).Seconds())
+		return err
 	}
 
 	// Prewarm only the scenarios this invocation will actually run.
@@ -386,9 +434,6 @@ func sweepMode(f sweepFlags) error {
 	if err := exp.Prewarm(pending); err != nil {
 		return err
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "dtmsweep: %d jobs in sweep, %d in this shard, %d to run\n",

@@ -82,6 +82,19 @@ func BuildPolicySetWith(stack *floorplan.Stack, seed int64, solver thermal.Solve
 	return out, nil
 }
 
+// KnownPolicy reports whether name is a buildable policy. It lets
+// request validation (the dtmserved sweep API) reject a bad roster
+// before any simulation starts, instead of failing mid-stream when
+// BuildPolicyWith first sees the name.
+func KnownPolicy(name string) bool {
+	for _, p := range PolicyOrder {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
 // BuildPolicy constructs a single policy by name (for cmd/dtmsim).
 func BuildPolicy(name string, stack *floorplan.Stack, seed int64) (policy.Policy, error) {
 	return BuildPolicyWith(name, stack, seed, thermal.SolverCached)

@@ -30,11 +30,32 @@ func (c MatrixConfig) Spec() sweep.Spec {
 	}
 }
 
+// RunnerHooks are optional observation points a runner's simulations
+// report into. All hooks must be safe for concurrent calls: one runner
+// serves every worker of a pool.
+type RunnerHooks struct {
+	// OnTick fires once per completed simulated tick across all runs.
+	// The serving layer feeds its ticks-per-second throughput metric
+	// from it; keep it to an atomic counter bump so the tick loop stays
+	// allocation-free.
+	OnTick func()
+}
+
 // NewRunner returns the simulator-backed job runner. All runs launched
 // from one runner share a trace cache, so every policy replays the
 // exact same pre-generated job trace per (scenario, benchmark,
 // replicate) — the fairness invariant the figure sweeps rely on.
 func NewRunner() sweep.RunFunc {
+	return NewRunnerWithHooks(RunnerHooks{})
+}
+
+// NewRunnerWithHooks is NewRunner with progress hooks attached to every
+// simulation the runner executes.
+func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
+	var onTick func(int)
+	if hooks.OnTick != nil {
+		onTick = func(int) { hooks.OnTick() }
+	}
 	traces := workload.NewTraceCache()
 	return func(ctx context.Context, j sweep.Job) (sweep.Record, error) {
 		b, err := workload.ByName(j.Bench)
@@ -71,6 +92,7 @@ func NewRunner() sweep.RunFunc {
 			Seed:                j.Seed,
 			Solver:              j.Solver,
 			Ctx:                 ctx,
+			OnTick:              onTick,
 		})
 		if err != nil {
 			return sweep.Record{}, err

@@ -1,6 +1,9 @@
 package floorplan
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Experiment identifies one of the paper's four 3D configurations (Fig. 1).
 type Experiment int
@@ -31,6 +34,35 @@ const (
 
 // String implements fmt.Stringer.
 func (e Experiment) String() string { return fmt.Sprintf("EXP-%d", int(e)) }
+
+// MarshalJSON encodes the experiment as its display name ("EXP-3"), so
+// wire formats (the dtmserved sweep API) and stored scenario specs stay
+// readable and stable if the underlying numbering ever changes.
+func (e Experiment) MarshalJSON() ([]byte, error) {
+	if e < EXP1 || e > EXP6 {
+		return nil, fmt.Errorf("floorplan: cannot marshal invalid experiment %d", int(e))
+	}
+	return json.Marshal(e.String())
+}
+
+// UnmarshalJSON accepts any spelling ParseExperiment does ("EXP-3",
+// "exp3", "3") plus a plain JSON number.
+func (e *Experiment) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		var n int
+		if err := json.Unmarshal(b, &n); err != nil {
+			return fmt.Errorf("floorplan: experiment must be a JSON string or number, got %s", b)
+		}
+		s = fmt.Sprint(n)
+	}
+	parsed, err := ParseExperiment(s)
+	if err != nil {
+		return err
+	}
+	*e = parsed
+	return nil
+}
 
 // AllExperiments lists the paper's four configurations in paper order.
 func AllExperiments() []Experiment { return []Experiment{EXP1, EXP2, EXP3, EXP4} }

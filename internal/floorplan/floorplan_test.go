@@ -1,10 +1,41 @@
 package floorplan
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
 )
+
+// TestExperimentJSON pins the wire format scenario specs use.
+func TestExperimentJSON(t *testing.T) {
+	for _, e := range ExtendedExperiments() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", e, err)
+		}
+		if want := `"` + e.String() + `"`; string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", e, b, want)
+		}
+		var got Experiment
+		if err := json.Unmarshal(b, &got); err != nil || got != e {
+			t.Errorf("unmarshal %s: got %v err %v", b, got, err)
+		}
+	}
+	var e Experiment
+	if err := json.Unmarshal([]byte(`3`), &e); err != nil || e != EXP3 {
+		t.Errorf("unmarshal bare number: got %v err %v", e, err)
+	}
+	if err := json.Unmarshal([]byte(`"exp2"`), &e); err != nil || e != EXP2 {
+		t.Errorf("unmarshal lowercase: got %v err %v", e, err)
+	}
+	if err := json.Unmarshal([]byte(`"EXP-9"`), &e); err == nil {
+		t.Error("unmarshal accepted an unknown experiment")
+	}
+	if _, err := json.Marshal(Experiment(0)); err == nil {
+		t.Error("marshal accepted the zero experiment")
+	}
+}
 
 func TestAllExperimentsBuildAndValidate(t *testing.T) {
 	for _, e := range AllExperiments() {

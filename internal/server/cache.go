@@ -1,0 +1,64 @@
+package server
+
+import (
+	"container/list"
+
+	"repro/internal/sweep"
+)
+
+// lruCache is the job-key → record result cache. A sweep's job keys
+// are deterministic (sweep.Job.Key), and a job's record is a pure
+// function of its key once ElapsedMS is stripped, so serving a cached
+// record is indistinguishable from rerunning the simulation — repeated
+// figure requests cost map lookups instead of sim ticks.
+//
+// It is not safe for concurrent use: Server guards it with its state
+// mutex so a cache lookup and the in-flight-call bookkeeping around it
+// stay atomic (no window where a completing job is in neither).
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	rec sweep.Record
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached record for key and marks it recently used.
+func (c *lruCache) Get(key string) (sweep.Record, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return sweep.Record{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).rec, true
+}
+
+// Add inserts or refreshes key, evicting the least recently used entry
+// beyond capacity.
+func (c *lruCache) Add(key string, rec sweep.Record) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).rec = rec
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, rec: rec})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached records.
+func (c *lruCache) Len() int { return c.ll.Len() }

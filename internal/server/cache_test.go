@@ -1,0 +1,43 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache(3)
+	for i := 0; i < 3; i++ {
+		c.Add(fmt.Sprintf("k%d", i), sweep.Record{Key: fmt.Sprintf("k%d", i)})
+	}
+	// Touch k0 so k1 becomes the eviction candidate.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Add("k3", sweep.Record{Key: "k3"})
+	if c.Len() != 3 {
+		t.Fatalf("cache has %d entries, want 3", c.Len())
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("least recently used entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s was evicted, want kept", k)
+		}
+	}
+}
+
+func TestLRUCacheRefreshUpdatesValue(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("k", sweep.Record{Key: "k", MaxTempC: 1})
+	c.Add("k", sweep.Record{Key: "k", MaxTempC: 2})
+	if c.Len() != 1 {
+		t.Fatalf("refresh duplicated the entry: %d", c.Len())
+	}
+	if r, _ := c.Get("k"); r.MaxTempC != 2 {
+		t.Fatalf("refresh kept the stale record: %+v", r)
+	}
+}

@@ -1,0 +1,506 @@
+// Package server is dtmserved's serving layer: a long-running HTTP
+// service that accepts sweep requests (JSON bodies mapping onto
+// sweep.Spec), executes them on a bounded worker pool, and streams the
+// per-run records back as JSONL (or SSE for browser clients) in the
+// spec's canonical job order, so two requests for the same spec yield
+// byte-identical streams.
+//
+// Identical jobs are deduplicated at two levels, both keyed by the
+// orchestrator's deterministic job keys: an LRU result cache serves
+// repeated jobs from memory without simulating a single tick, and an
+// in-flight table joins concurrent requests for a job that is already
+// running. Per-job contexts are refcounted across the requests waiting
+// on them — a job is canceled when the last interested request
+// disconnects, and never before.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/floorplan"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds the simulation worker pool (0: NumCPU).
+	Workers int
+	// CacheEntries caps the LRU result cache (0: 4096 records).
+	CacheEntries int
+	// MaxJobsPerSweep rejects requests expanding past this many jobs
+	// (0: 4096), bounding the memory a single request can pin.
+	MaxJobsPerSweep int
+	// Runner executes one job (nil: the exp simulator-backed runner
+	// with the server's tick-throughput hook attached). Tests inject
+	// fakes here.
+	Runner sweep.RunFunc
+	// ValidateJob vets one job before anything is scheduled (nil: known
+	// policy + known benchmark + buildable stack + positive duration).
+	// Validation failures reject the whole request with 400 before the
+	// stream starts — a bad roster must not fail halfway through a
+	// half-simulated response.
+	ValidateJob func(sweep.Job) error
+}
+
+// call is one running (or queued) job and everything needed to share
+// it: requests joining an identical job take a reference and wait on
+// done; the last reference released before completion cancels ctx.
+type call struct {
+	key    string
+	job    sweep.Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int // guarded by Server.mu
+	done   chan struct{}
+	rec    sweep.Record // valid after done closes, when err is nil
+	err    error
+}
+
+// Server is the HTTP sweep service. Create with New, expose Handler on
+// an http.Server, and Stop when done.
+type Server struct {
+	cfg        Config
+	runner     sweep.RunFunc
+	validate   func(sweep.Job) error
+	met        counters
+	draining   atomic.Bool
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	tasks      chan *call
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex // guards cache and inflight together
+	cache    *lruCache
+	inflight map[string]*call
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.MaxJobsPerSweep <= 0 {
+		cfg.MaxJobsPerSweep = 4096
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRUCache(cfg.CacheEntries),
+		inflight: make(map[string]*call),
+		tasks:    make(chan *call),
+	}
+	s.met.start = time.Now()
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.runner = cfg.Runner
+	if s.runner == nil {
+		s.runner = exp.NewRunnerWithHooks(exp.RunnerHooks{
+			OnTick: func() { s.met.simTicks.Add(1) },
+		})
+	}
+	s.validate = cfg.ValidateJob
+	if s.validate == nil {
+		s.validate = defaultValidateJob
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Drain flips the server into draining mode: /healthz answers 503 and
+// new sweep submissions are refused, while requests already streaming
+// (and their jobs) continue. Call it when shutdown begins — before
+// http.Server.Shutdown — so health-check-based orchestration sees the
+// instance leave the pool at the start of the drain window, not after.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Stop cancels every queued and running job and waits for the workers
+// to exit. Call after draining the HTTP server: handlers still
+// streaming will see their jobs fail with context.Canceled.
+func (s *Server) Stop() {
+	s.draining.Store(true)
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	return mux
+}
+
+// worker runs queued calls until the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case c := <-s.tasks:
+			s.met.queueDepth.Add(-1)
+			s.met.activeJobs.Add(1)
+			rec, err := s.runner(c.ctx, c.job)
+			s.met.activeJobs.Add(-1)
+			// Strip the wall-clock field: served streams are a pure
+			// function of the spec, and a cached record must be
+			// indistinguishable from a fresh one.
+			rec.ElapsedMS = 0
+			s.finish(c, rec, err)
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// acquire resolves one job to either a cached record (pending.c nil)
+// or a refcounted call: joining the in-flight run when one exists,
+// otherwise creating and scheduling a new one.
+func (s *Server) acquire(j sweep.Job) pending {
+	key := j.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return pending{rec: rec}
+	}
+	if c, ok := s.inflight[key]; ok {
+		c.refs++
+		s.met.inflightJoins.Add(1)
+		return pending{c: c}
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	c := &call{key: key, job: j, ctx: ctx, cancel: cancel, refs: 1, done: make(chan struct{})}
+	s.inflight[key] = c
+	s.met.cacheMisses.Add(1)
+	s.met.queueDepth.Add(1)
+	go s.schedule(c)
+	return pending{c: c}
+}
+
+// schedule hands the call to a worker, or finishes it as canceled if
+// every requester (or the server) goes away while it is still queued.
+func (s *Server) schedule(c *call) {
+	select {
+	case s.tasks <- c:
+	case <-c.ctx.Done():
+		s.met.queueDepth.Add(-1)
+		s.finish(c, sweep.Record{}, c.ctx.Err())
+	}
+}
+
+// finish publishes a call's outcome: successful records enter the
+// result cache in the same critical section that retires the in-flight
+// entry, so a concurrent request always sees the job as either
+// in-flight or cached, never neither.
+func (s *Server) finish(c *call, rec sweep.Record, err error) {
+	s.mu.Lock()
+	if err == nil {
+		s.cache.Add(c.key, rec)
+	}
+	// Guard by identity: a fully-released call was already retired, and
+	// its slot may now hold a successor run that must not be dropped.
+	if s.inflight[c.key] == c {
+		delete(s.inflight, c.key)
+	}
+	s.mu.Unlock()
+	c.rec, c.err = rec, err
+	// Counters move before done closes: a client that has seen its
+	// stream complete must never read /metrics and find the work it
+	// just received still unaccounted.
+	switch {
+	case err == nil:
+		s.met.jobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.met.jobsCanceled.Add(1)
+	default:
+		s.met.jobsFailed.Add(1)
+	}
+	close(c.done)
+	c.cancel()
+}
+
+// release drops one reference; the last pre-completion release cancels
+// the job. The call is retired from the in-flight table in the same
+// critical section that decides it is doomed, so a request arriving in
+// the release-to-cancel window starts a fresh run instead of joining a
+// call that is about to fail with context.Canceled.
+func (s *Server) release(c *call) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	c.refs--
+	last := c.refs == 0
+	if last && s.inflight[c.key] == c {
+		delete(s.inflight, c.key)
+	}
+	s.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// pending is one slot of a request's canonical-order result list.
+type pending struct {
+	rec sweep.Record // cache hit when c is nil
+	c   *call
+}
+
+// SweepRequest is the POST /v1/sweep body: the declarative spec plus
+// optional sharding and a resume skip-set, mirroring dtmsweep's local
+// sweep mode so a workflow can swap `-out jsonl` for `-remote` without
+// changing what runs.
+type SweepRequest struct {
+	Spec sweep.Spec `json:"spec"`
+	// ShardIndex/ShardCount select shard index-of-count of the job
+	// list by stable job hash; zero ShardCount means the whole sweep.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+	// SkipKeys are completed job keys (from a local checkpoint); they
+	// are neither run nor re-emitted.
+	SkipKeys []string `json:"skip_keys,omitempty"`
+}
+
+// Jobs expands the request into its canonical job list.
+func (r SweepRequest) Jobs() ([]sweep.Job, error) {
+	jobs := r.Spec.Expand()
+	if r.ShardCount > 0 {
+		var err error
+		if jobs, err = sweep.Shard(jobs, r.ShardIndex, r.ShardCount); err != nil {
+			return nil, err
+		}
+	} else if r.ShardIndex != 0 {
+		return nil, fmt.Errorf("shard_index %d without shard_count", r.ShardIndex)
+	}
+	if len(r.SkipKeys) > 0 {
+		skip := make(map[string]bool, len(r.SkipKeys))
+		for _, k := range r.SkipKeys {
+			skip[k] = true
+		}
+		kept := jobs[:0]
+		for _, j := range jobs {
+			if !skip[j.Key()] {
+				kept = append(kept, j)
+			}
+		}
+		jobs = kept
+	}
+	return jobs, nil
+}
+
+// Resource limits for the default validator. They bound what one
+// validated job can cost a worker: an unbounded grid builds (and
+// factors) an arbitrarily large thermal system with no cancellation
+// point, and an unbounded duration pins a worker for an arbitrary tick
+// count. Both ceilings sit well above anything the experiments use
+// (the extended sweeps run 64x64 grids and 1800 s traces).
+const (
+	// maxExpandJobs caps the sweep expansion itself (see handleSweep);
+	// MaxJobsPerSweep then governs the post-shard/skip runnable count.
+	maxExpandJobs = 1 << 16
+	// maxGridCells caps GridRows x GridCols per layer.
+	maxGridCells = 128 * 128
+	// maxDurationS caps one job's simulated time (one simulated week).
+	maxDurationS = 7 * 24 * 3600
+)
+
+// defaultValidateJob vets a job against the simulator's actual
+// vocabulary and the resource limits above, cheaply (no thermal model
+// is built).
+func defaultValidateJob(j sweep.Job) error {
+	if !exp.KnownPolicy(j.Policy) {
+		return fmt.Errorf("unknown policy %q", j.Policy)
+	}
+	if _, err := workload.ByName(j.Bench); err != nil {
+		return fmt.Errorf("unknown benchmark %q", j.Bench)
+	}
+	if _, err := floorplan.Build(j.Scenario.Exp); err != nil {
+		return fmt.Errorf("scenario %s: %v", j.Scenario.ID(), err)
+	}
+	if j.DurationS <= 0 || j.DurationS > maxDurationS {
+		return fmt.Errorf("duration %g s out of range (0, %d]", j.DurationS, maxDurationS)
+	}
+	rows, cols := j.Scenario.GridRows, j.Scenario.GridCols
+	if (rows > 0) != (cols > 0) {
+		return fmt.Errorf("scenario %s: grid mode needs both rows and cols", j.Scenario.ID())
+	}
+	if rows > 0 && (rows > maxGridCells || cols > maxGridCells || rows*cols > maxGridCells) {
+		return fmt.Errorf("scenario %s: grid %dx%d exceeds the %d cells/layer limit", j.Scenario.ID(), rows, cols, maxGridCells)
+	}
+	return nil
+}
+
+// httpError writes a JSON error document. Only usable before the
+// record stream starts.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `dtmserved: thermal-simulation sweep service
+
+POST /v1/sweep   submit a sweep spec, stream records back (JSONL; SSE with Accept: text/event-stream)
+GET  /healthz    liveness
+GET  /metrics    JSON counters (jobs, queue, cache, tick throughput)
+`)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	switch {
+	case s.baseCtx.Err() != nil:
+		status, code = "stopping", http.StatusServiceUnavailable
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"uptime_s": time.Since(s.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.met.snapshot(s.cfg.Workers)
+	s.mu.Lock()
+	m.CacheEntries = s.cache.Len()
+	m.CacheCapacity = s.cfg.CacheEntries
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	if s.draining.Load() || s.baseCtx.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// The body cap must fit a resume request for the largest sweep the
+	// server expands: maxExpandJobs skip keys at ~80 bytes each is
+	// ~5 MB, so 8 MB leaves headroom without being an open door.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	// Gate on the declared cross-product size BEFORE expanding: a
+	// request body of a few bytes can declare billions of jobs, and
+	// materializing that list would OOM the process. Sharding does not
+	// shrink the expansion (shards filter the full list), so the cap
+	// applies to the whole sweep.
+	if n := req.Spec.NumJobs(); n > maxExpandJobs {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"sweep declares %d jobs; the server expands at most %d", n, maxExpandJobs)
+		return
+	}
+	jobs, err := req.Jobs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	if len(jobs) == 0 {
+		if len(req.Spec.Expand()) == 0 {
+			httpError(w, http.StatusBadRequest, "sweep expands to no jobs")
+			return
+		}
+		// The spec is fine; the shard owns nothing or skip_keys covers
+		// everything. That is a successful empty stream, so an
+		// idempotent `-remote -resume` re-invocation of a finished
+		// sweep exits 0 exactly like its local equivalent.
+		newStream(w, r).done(0)
+		return
+	}
+	if len(jobs) > s.cfg.MaxJobsPerSweep {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"sweep expands to %d jobs, limit is %d (shard the request)", len(jobs), s.cfg.MaxJobsPerSweep)
+		return
+	}
+	// Jobs differing only in replicate, seed, solver, or DPM share
+	// every validated dimension; vet each distinct combination once
+	// (stack construction is the expensive part).
+	vetted := make(map[string]bool)
+	for _, j := range jobs {
+		vk := fmt.Sprintf("%s|%s|%s|%g", j.Scenario.ID(), j.Policy, j.Bench, j.DurationS)
+		if vetted[vk] {
+			continue
+		}
+		vetted[vk] = true
+		if err := s.validate(j); err != nil {
+			httpError(w, http.StatusBadRequest, "job %s: %v", j.Key(), err)
+			return
+		}
+	}
+
+	// Acquire every slot up front so identical jobs inside one request
+	// dedup against each other too, then stream in canonical order.
+	acquired := make([]pending, len(jobs))
+	for i, j := range jobs {
+		acquired[i] = s.acquire(j)
+	}
+	s.met.jobsSubmitted.Add(int64(len(jobs)))
+	releaseFrom := func(i int) {
+		for _, p := range acquired[i:] {
+			s.release(p.c)
+		}
+	}
+
+	st := newStream(w, r)
+	for i, p := range acquired {
+		rec := p.rec
+		if p.c != nil {
+			select {
+			case <-p.c.done:
+				rec, err = p.c.rec, p.c.err
+				s.release(p.c)
+				if err != nil {
+					releaseFrom(i + 1)
+					st.fail(fmt.Errorf("job %s: %w", jobs[i].Key(), err))
+					return
+				}
+			case <-r.Context().Done():
+				releaseFrom(i)
+				st.fail(fmt.Errorf("client went away: %w", r.Context().Err()))
+				return
+			}
+		}
+		// Baseline is the one job field excluded from the key (a
+		// baseline-only run and a roster run of the same policy are the
+		// same simulation), so a cached or joined record may carry
+		// another spec's classification. Restamp it from THIS request's
+		// expansion, keeping the stream byte-identical to a local
+		// canonical run of the same spec.
+		rec.Baseline = jobs[i].Baseline
+		if err := st.record(rec); err != nil {
+			releaseFrom(i + 1)
+			return // client write failed; nothing left to tell it
+		}
+	}
+	st.done(len(acquired))
+}

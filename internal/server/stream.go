@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// stream frames the record sequence for one sweep response. Two
+// framings exist: JSONL (the default; byte-identical to dtmsweep's
+// canonical local output) and SSE (for browsers, selected by Accept:
+// text/event-stream).
+type stream interface {
+	// record emits one result.
+	record(sweep.Record) error
+	// done terminates a fully-streamed response.
+	done(n int)
+	// fail terminates a response that cannot be completed. It may be
+	// called after records have already streamed — the error travels in
+	// the trailer (JSONL) or a terminal event (SSE), never in the
+	// record stream itself, which stays pure JSONL records.
+	fail(err error)
+}
+
+// newStream picks the framing from the request's Accept header.
+func newStream(w http.ResponseWriter, r *http.Request) stream {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		return &sseStream{w: w}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	return &jsonlStream{w: w, enc: json.NewEncoder(w)}
+}
+
+// sweepStatusTrailer is the JSONL completion trailer: "complete" only
+// when every record of the request was streamed. Clients that care
+// about truncation (dtmsweep -remote does) must check it; the record
+// stream of a failed sweep is a valid prefix and indistinguishable from
+// success without it.
+const (
+	sweepStatusTrailer = http.TrailerPrefix + "X-Sweep-Status"
+	sweepErrorTrailer  = http.TrailerPrefix + "X-Sweep-Error"
+)
+
+type jsonlStream struct {
+	w   http.ResponseWriter
+	enc *json.Encoder
+}
+
+func (s *jsonlStream) record(r sweep.Record) error {
+	if err := s.enc.Encode(r); err != nil {
+		return err
+	}
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+func (s *jsonlStream) done(int) {
+	s.w.Header().Set(sweepStatusTrailer, "complete")
+}
+
+func (s *jsonlStream) fail(err error) {
+	s.w.Header().Set(sweepStatusTrailer, "error")
+	s.w.Header().Set(sweepErrorTrailer, err.Error())
+}
+
+type sseStream struct {
+	w http.ResponseWriter
+}
+
+func (s *sseStream) event(name string, data []byte) error {
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		return err
+	}
+	if f, ok := s.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+func (s *sseStream) record(r sweep.Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return s.event("record", b)
+}
+
+func (s *sseStream) done(n int) {
+	b, _ := json.Marshal(map[string]int{"records": n})
+	s.event("done", b)
+}
+
+func (s *sseStream) fail(err error) {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	s.event("error", b)
+}

@@ -92,6 +92,15 @@ type Config struct {
 	// uses this so an interrupted sweep stops mid-simulation instead of
 	// draining every in-flight run to completion.
 	Ctx context.Context
+
+	// OnTick, when non-nil, is invoked once after every completed
+	// simulated tick with the number of ticks completed so far (1-based).
+	// It is a progress hook for long-running callers — the serving layer
+	// derives its live per-tick throughput metric from it — and runs on
+	// the simulation goroutine, so it must be cheap and must not block;
+	// a closure that only bumps an atomic counter keeps the tick loop
+	// allocation-free.
+	OnTick func(ticksCompleted int)
 }
 
 // withDefaults fills in the paper's settings and validates.

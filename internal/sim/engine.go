@@ -543,6 +543,9 @@ func (e *engine) tick(tick int) error {
 		}
 	}
 	e.res.Ticks++
+	if cfg.OnTick != nil {
+		cfg.OnTick(e.res.Ticks)
+	}
 	return nil
 }
 

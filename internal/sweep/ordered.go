@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"fmt"
+)
+
+// OrderedSink re-emits records to an inner sink in a fixed canonical
+// order (typically the expansion order of the job list) regardless of
+// the completion order Execute delivers them in. It buffers records
+// that arrive ahead of their turn and flushes the longest ready prefix
+// on every Put, so memory stays bounded by the worker pool's reorder
+// window, not the sweep size. Serving layers use it to make streamed
+// output deterministic: two executions of the same spec produce
+// byte-identical record streams even though the pool finishes jobs in
+// a different order each time.
+type OrderedSink struct {
+	inner   Sink
+	order   []string
+	slots   map[string][]int // unfilled slot indices per key, ascending
+	pending map[int]Record
+	next    int
+	closed  bool
+}
+
+// NewOrderedSink wraps inner with reordering over the given job list.
+// Records whose key is not in jobs (or that arrive more often than the
+// key appears) are rejected by Put: an unknown key means the sweep and
+// the ordering disagree about the job space, which would otherwise
+// stall every record behind the missing slot. A key appearing several
+// times in jobs (e.g. `-exps 1,1` expands duplicates) gets its records
+// assigned to the duplicate slots in arrival order — the runs are
+// deterministic, so the identical records land in every copy's slot.
+func NewOrderedSink(inner Sink, jobs []Job) *OrderedSink {
+	order := make([]string, len(jobs))
+	slots := make(map[string][]int, len(jobs))
+	for i, j := range jobs {
+		k := j.Key()
+		order[i] = k
+		slots[k] = append(slots[k], i)
+	}
+	return &OrderedSink{
+		inner:   inner,
+		order:   order,
+		slots:   slots,
+		pending: make(map[int]Record),
+	}
+}
+
+// Put implements Sink.
+func (o *OrderedSink) Put(r Record) error {
+	free := o.slots[r.Key]
+	if len(free) == 0 {
+		if _, known := o.slots[r.Key]; known {
+			return fmt.Errorf("sweep: ordered sink: duplicate record %q", r.Key)
+		}
+		return fmt.Errorf("sweep: ordered sink: record %q is not in the job list", r.Key)
+	}
+	i := free[0]
+	o.slots[r.Key] = free[1:]
+	o.pending[i] = r
+	return o.flushReady()
+}
+
+// flushReady emits the contiguous ready prefix.
+func (o *OrderedSink) flushReady() error {
+	for {
+		r, ok := o.pending[o.next]
+		if !ok {
+			return nil
+		}
+		delete(o.pending, o.next)
+		o.next++
+		if err := o.inner.Put(r); err != nil {
+			return err
+		}
+	}
+}
+
+// Close implements Sink. A sweep that ends early (cancellation, a
+// failed run, resume skips) leaves holes in the order; the remaining
+// buffered records are emitted in canonical order — still
+// deterministic given the same set of completed jobs — before the
+// inner sink closes.
+func (o *OrderedSink) Close() error {
+	if o.closed {
+		return o.inner.Close()
+	}
+	o.closed = true
+	var first error
+	for i := o.next; i < len(o.order); i++ {
+		r, ok := o.pending[i]
+		if !ok {
+			continue
+		}
+		delete(o.pending, i)
+		if err := o.inner.Put(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := o.inner.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// stripElapsed zeroes the wall-clock field before forwarding.
+type stripElapsed struct{ inner Sink }
+
+// StripElapsed wraps a sink so every record is delivered with
+// ElapsedMS zeroed. ElapsedMS is the one nondeterministic field of a
+// record (it measures the host, not the simulation); stripping it
+// makes the downstream stream a pure function of the spec, which the
+// serving layer's byte-identical replay guarantee and its result cache
+// both rely on.
+func StripElapsed(inner Sink) Sink { return &stripElapsed{inner: inner} }
+
+// Put implements Sink.
+func (s *stripElapsed) Put(r Record) error {
+	r.ElapsedMS = 0
+	return s.inner.Put(r)
+}
+
+// Close implements Sink.
+func (s *stripElapsed) Close() error { return s.inner.Close() }

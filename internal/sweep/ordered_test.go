@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// TestOrderedSinkReordersCompletionOrder feeds records in a scrambled
+// completion order and verifies the inner sink sees canonical job
+// order — the property that makes served sweep streams deterministic.
+func TestOrderedSinkReordersCompletionOrder(t *testing.T) {
+	jobs := testSpec().Expand()[:6]
+	inner := &Collector{}
+	o := NewOrderedSink(inner, jobs)
+	for _, i := range []int{3, 0, 5, 1, 2, 4} {
+		r, _ := fakeRun(context.Background(), jobs[i])
+		if err := o.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.Records) != len(jobs) {
+		t.Fatalf("inner sink got %d records, want %d", len(inner.Records), len(jobs))
+	}
+	for i, r := range inner.Records {
+		if r.Key != jobs[i].Key() {
+			t.Errorf("record %d is %q, want %q", i, r.Key, jobs[i].Key())
+		}
+	}
+}
+
+// TestOrderedSinkFlushesHolesOnClose covers the early-termination path:
+// a subset of jobs completed (with gaps) must still drain in canonical
+// order when the sink closes.
+func TestOrderedSinkFlushesHolesOnClose(t *testing.T) {
+	jobs := testSpec().Expand()[:5]
+	inner := &Collector{}
+	o := NewOrderedSink(inner, jobs)
+	for _, i := range []int{4, 1, 3} { // 0 and 2 never complete
+		r, _ := fakeRun(context.Background(), jobs[i])
+		if err := o.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{jobs[1].Key(), jobs[3].Key(), jobs[4].Key()}
+	if len(inner.Records) != len(want) {
+		t.Fatalf("inner sink got %d records, want %d", len(inner.Records), len(want))
+	}
+	for i, r := range inner.Records {
+		if r.Key != want[i] {
+			t.Errorf("record %d is %q, want %q", i, r.Key, want[i])
+		}
+	}
+}
+
+func TestOrderedSinkRejectsUnknownAndDuplicateKeys(t *testing.T) {
+	jobs := testSpec().Expand()[:3]
+	o := NewOrderedSink(&Collector{}, jobs)
+	if err := o.Put(Record{Key: "not-a-job"}); err == nil {
+		t.Error("ordered sink accepted a record outside the job list")
+	}
+	r, _ := fakeRun(context.Background(), jobs[0])
+	if err := o.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(r); err == nil {
+		t.Error("ordered sink accepted a duplicate record")
+	}
+	r2, _ := fakeRun(context.Background(), jobs[2]) // buffered, not yet flushed
+	if err := o.Put(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Put(r2); err == nil {
+		t.Error("ordered sink accepted a duplicate buffered record")
+	}
+}
+
+// TestOrderedSinkHandlesDuplicateJobs covers job lists where the same
+// key appears more than once (`-exps 1,1` expands duplicates): each
+// arriving record fills the earliest open slot for its key, and the
+// full duplicated sequence streams in canonical order.
+func TestOrderedSinkHandlesDuplicateJobs(t *testing.T) {
+	jobs := testSpec().Expand()[:2]
+	dup := append(append([]Job{}, jobs...), jobs...) // j0 j1 j0 j1
+	inner := &Collector{}
+	o := NewOrderedSink(inner, dup)
+	for _, i := range []int{1, 1, 0, 0} {
+		r, _ := fakeRun(context.Background(), jobs[i])
+		if err := o.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.Records) != len(dup) {
+		t.Fatalf("inner sink got %d records, want %d", len(inner.Records), len(dup))
+	}
+	for i, r := range inner.Records {
+		if r.Key != dup[i].Key() {
+			t.Errorf("record %d is %q, want %q", i, r.Key, dup[i].Key())
+		}
+	}
+	// A third record for an exhausted key is still rejected.
+	r, _ := fakeRun(context.Background(), jobs[0])
+	if err := o.Put(r); err == nil {
+		t.Error("ordered sink accepted a record beyond the key's slot count")
+	}
+}
+
+func TestStripElapsed(t *testing.T) {
+	inner := &Collector{}
+	s := StripElapsed(inner)
+	if err := s.Put(Record{Key: "a", ElapsedMS: 123.4, MaxTempC: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Records[0]; got.ElapsedMS != 0 || got.MaxTempC != 80 {
+		t.Fatalf("StripElapsed forwarded %+v, want ElapsedMS=0 with other fields intact", got)
+	}
+}
+
+// TestExecuteOrderedStreamIsDeterministic runs the same sweep twice
+// through ordered sinks on a racy worker pool and demands identical
+// record sequences — the end-to-end guarantee the serving layer builds
+// on.
+func TestExecuteOrderedStreamIsDeterministic(t *testing.T) {
+	jobs := testSpec().Expand()
+	stream := func() []Record {
+		inner := &Collector{}
+		_, err := Execute(context.Background(), jobs, fakeRun, Options{Workers: 8},
+			NewOrderedSink(StripElapsed(inner), jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inner.Records
+	}
+	a, b := stream(), stream()
+	if len(a) != len(jobs) || len(b) != len(jobs) {
+		t.Fatalf("streams have %d and %d records, want %d", len(a), len(b), len(jobs))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ package sweep
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 
 	"repro/internal/floorplan"
 	"repro/internal/thermal"
@@ -25,9 +26,12 @@ const DefaultSeedStride = 7919
 // sweep space. The zero GridRows/GridCols pair selects the block-level
 // thermal model; setting both switches that scenario to grid mode.
 type Scenario struct {
-	// Name is the stable identity used in job keys and reports; leave
-	// empty to derive it from Exp (plus the grid dimensions, if any).
-	Name string `json:"name"`
+	// Name is an optional label prefixed to the scenario's identity in
+	// job keys and reports. The physical configuration always
+	// contributes to the identity too — a name is a label, not an
+	// alias — so two scenarios sharing a name but differing in physics
+	// can never collide in job keys (and therefore in result caches).
+	Name string `json:"name,omitempty"`
 	// Exp selects the floorplan stack (EXP-1..EXP-6).
 	Exp floorplan.Experiment `json:"exp"`
 	// JointResistivityMKW overrides the paper's 0.23 m·K/W when nonzero.
@@ -39,18 +43,21 @@ type Scenario struct {
 }
 
 // ID returns the scenario's stable identity. Every field that changes
-// the simulated system contributes, so two distinct scenarios can
-// never collide into one job key.
+// the simulated system contributes — unconditionally, whether or not
+// the scenario is named — so two distinct scenarios can never collide
+// into one job key. (Keys feed dtmserved's result cache: a name that
+// aliased away the physics would let one configuration's cached
+// records be served as another's.)
 func (s Scenario) ID() string {
-	if s.Name != "" {
-		return s.Name
-	}
 	id := s.Exp.String()
 	if s.GridRows > 0 && s.GridCols > 0 {
 		id = fmt.Sprintf("%s/grid%dx%d", id, s.GridRows, s.GridCols)
 	}
 	if s.JointResistivityMKW != 0 {
 		id = fmt.Sprintf("%s/jr%g", id, s.JointResistivityMKW)
+	}
+	if s.Name != "" {
+		return s.Name + "@" + id
 	}
 	return id
 }
@@ -70,30 +77,30 @@ func ScenariosFor(exps []floorplan.Experiment) []Scenario {
 // and resumption rely on.
 type Spec struct {
 	// Scenarios are the stack/thermal-model configurations.
-	Scenarios []Scenario
+	Scenarios []Scenario `json:"scenarios"`
 	// Policies are exp policy names (see exp.PolicyOrder).
-	Policies []string
+	Policies []string `json:"policies"`
 	// Benchmarks are Table I benchmark names.
-	Benchmarks []string
+	Benchmarks []string `json:"benchmarks"`
 	// Replicates is the number of independent seeds per cell; 0 means 1.
-	Replicates int
+	Replicates int `json:"replicates,omitempty"`
 	// Seed is the base seed; replicate r uses Seed + r*SeedStride.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// SeedStride separates replicate seed streams (0 selects
 	// DefaultSeedStride). Replicate 0 always runs at exactly Seed, so a
 	// single-replicate sweep reproduces the pre-orchestrator results.
-	SeedStride int64
+	SeedStride int64 `json:"seed_stride,omitempty"`
 	// Solvers are the thermal solve paths to sweep (empty: cached).
-	Solvers []thermal.SolverKind
+	Solvers []thermal.SolverKind `json:"solvers,omitempty"`
 	// DurationsS are the simulated durations to sweep (empty: 300 s).
-	DurationsS []float64
+	DurationsS []float64 `json:"durations_s,omitempty"`
 	// UseDPM composes the fixed-timeout power manager into every run.
-	UseDPM bool
+	UseDPM bool `json:"use_dpm,omitempty"`
 	// Baseline is the policy normalized against (empty: "Default").
 	// When it is not already in Policies, Expand appends baseline-only
 	// jobs so every (scenario, benchmark, replicate, solver, duration)
 	// combination has a reference run.
-	Baseline string
+	Baseline string `json:"baseline,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -210,6 +217,36 @@ func (s Spec) Expand() []Job {
 		add(s.Baseline, true)
 	}
 	return jobs
+}
+
+// NumJobs returns the size of the job list Expand would build, without
+// building it. Servers use it to reject oversized sweep requests
+// before the expansion allocates anything: a request body of a few
+// bytes can declare a cross product of billions. The count saturates
+// at MaxInt32 — any sweep that large is over every sane limit anyway.
+func (s Spec) NumJobs() int {
+	s = s.withDefaults()
+	policies := len(s.Policies)
+	hasBaseline := false
+	for _, p := range s.Policies {
+		if p == s.Baseline {
+			hasBaseline = true
+		}
+	}
+	if !hasBaseline {
+		policies++ // Expand appends baseline-only jobs
+	}
+	n := int64(1)
+	for _, f := range []int{policies, len(s.Scenarios), len(s.Benchmarks), s.Replicates, len(s.Solvers), len(s.DurationsS)} {
+		if f > math.MaxInt32 {
+			return math.MaxInt32
+		}
+		n *= int64(f)
+		if n > math.MaxInt32 {
+			return math.MaxInt32
+		}
+	}
+	return int(n)
 }
 
 // Shard selects the jobs owned by shard index out of count shards by

@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// TestSpecJSONRoundTrip pins the sweep-request wire format: a Spec
+// survives marshal/unmarshal intact (so a remote sweep expands to the
+// same job list the client would run locally) and the encoded form
+// uses the human-readable spellings.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Scenarios: []Scenario{
+			{Exp: floorplan.EXP1},
+			{Exp: floorplan.EXP3, GridRows: 8, GridCols: 8, JointResistivityMKW: 0.5},
+		},
+		Policies:   []string{"Default", "Adapt3D"},
+		Benchmarks: []string{"Web-med"},
+		Replicates: 2,
+		Seed:       7,
+		Solvers:    []thermal.SolverKind{thermal.SolverCached, thermal.SolverDense},
+		DurationsS: []float64{30, 60},
+		UseDPM:     true,
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"EXP-1"`, `"EXP-3"`, `"cached"`, `"dense"`, `"grid_rows":8`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("encoded spec %s is missing %s", b, want)
+		}
+	}
+	var got Spec
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, spec)
+	}
+	a, bJobs := spec.Expand(), got.Expand()
+	if !reflect.DeepEqual(a, bJobs) {
+		t.Fatal("round-tripped spec expands to a different job list")
+	}
+}

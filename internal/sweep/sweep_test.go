@@ -96,6 +96,45 @@ func TestJobKeyStable(t *testing.T) {
 	}
 }
 
+// TestScenarioNameIsLabelNotAlias pins that a scenario name prefixes
+// the identity without replacing the physics: two same-named scenarios
+// with different configurations must keep distinct IDs, or one's
+// cached results could be served as the other's (dtmserved keys its
+// result cache by job key).
+func TestScenarioNameIsLabelNotAlias(t *testing.T) {
+	a := Scenario{Name: "prod", Exp: floorplan.EXP1}
+	b := Scenario{Name: "prod", Exp: floorplan.EXP2}
+	if a.ID() == b.ID() {
+		t.Fatalf("same-named scenarios with different physics share ID %q", a.ID())
+	}
+	if got, want := a.ID(), "prod@EXP-1"; got != want {
+		t.Errorf("named scenario ID = %q, want %q", got, want)
+	}
+	c := Scenario{Name: "prod", Exp: floorplan.EXP1, GridRows: 4, GridCols: 4}
+	if got, want := c.ID(), "prod@EXP-1/grid4x4"; got != want {
+		t.Errorf("named grid scenario ID = %q, want %q", got, want)
+	}
+}
+
+// TestNumJobsMatchesExpand pins that the pre-expansion size gate
+// agrees with the expansion it guards, and saturates instead of
+// overflowing on adversarial counts.
+func TestNumJobsMatchesExpand(t *testing.T) {
+	spec := testSpec()
+	if got, want := spec.NumJobs(), len(spec.Expand()); got != want {
+		t.Fatalf("NumJobs = %d, Expand produced %d", got, want)
+	}
+	spec.Policies = []string{"Default", "Adapt3D"} // baseline in roster
+	if got, want := spec.NumJobs(), len(spec.Expand()); got != want {
+		t.Fatalf("NumJobs with explicit baseline = %d, Expand produced %d", got, want)
+	}
+	huge := testSpec()
+	huge.Replicates = 2_000_000_000
+	if got := huge.NumJobs(); got < 1<<31-1 {
+		t.Fatalf("NumJobs on a 2e9-replicate spec = %d, want saturation", got)
+	}
+}
+
 func TestReplicateSeeds(t *testing.T) {
 	spec := testSpec()
 	if s := spec.ReplicateSeed(0); s != 7 {

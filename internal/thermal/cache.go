@@ -3,6 +3,7 @@ package thermal
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -62,6 +63,32 @@ func ParseSolverKind(s string) (SolverKind, error) {
 	return 0, fmt.Errorf("thermal: unknown solver kind %q (want cached, sparse, or dense)", s)
 }
 
+// MarshalJSON encodes the kind as its flag name ("cached"), so wire
+// formats (the dtmserved sweep API) read naturally instead of exposing
+// iota values.
+func (k SolverKind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case SolverCached, SolverSparse, SolverDense:
+		return json.Marshal(k.String())
+	}
+	return nil, fmt.Errorf("thermal: cannot marshal invalid %s", k)
+}
+
+// UnmarshalJSON accepts the flag name ("cached", "sparse", "dense");
+// an empty string selects the default, matching ParseSolverKind.
+func (k *SolverKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("thermal: solver kind must be a JSON string: %w", err)
+	}
+	parsed, err := ParseSolverKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // factorCache shares sparse factorizations across models and goroutines.
 // Keys are content fingerprints of the factored matrix, so two Model
 // instances built independently from the same stack geometry and
@@ -69,6 +96,7 @@ func ParseSolverKind(s string) (SolverKind, error) {
 // entry factors exactly once even under concurrent first access.
 type factorCache struct {
 	entries sync.Map // string -> *factorEntry
+	count   atomic.Int64
 	hits    atomic.Int64
 	misses  atomic.Int64
 }
@@ -79,12 +107,41 @@ type factorEntry struct {
 	err  error
 }
 
+// maxSharedFactorEntries bounds the process-wide cache. A sweep over
+// every shipped scenario (six stacks, block + grid modes, steady-state
+// + transient systems) touches a few dozen entries, so the bound never
+// binds for experiment workloads; it exists for long-running servers,
+// where client-chosen parameters (grid dimensions, joint resistivity)
+// would otherwise pin an unbounded number of factorizations forever.
+// Eviction is correctness-neutral: a dropped system refactors on the
+// next use, and holders of the evicted *Cholesky keep using it.
+const maxSharedFactorEntries = 64
+
 var sharedFactors factorCache
 
 // get returns the factorization for key, building it at most once.
 func (c *factorCache) get(key string, build func() (*linalg.Cholesky, error)) (*linalg.Cholesky, error) {
 	e, loaded := c.entries.LoadOrStore(key, &factorEntry{})
 	entry := e.(*factorEntry)
+	if !loaded && c.count.Add(1) > maxSharedFactorEntries {
+		// Evict one arbitrary other entry to make room. Concurrent
+		// over-inserts may briefly overshoot the bound by the number of
+		// racing goroutines; each evicts one entry, so the size still
+		// converges back under the cap. LoadAndDelete keeps the counter
+		// honest when two evictors race to the same victim: only the
+		// one that actually removed it decrements, the other walks on
+		// to the next candidate.
+		c.entries.Range(func(k, _ any) bool {
+			if k.(string) == key {
+				return true
+			}
+			if _, ok := c.entries.LoadAndDelete(k); ok {
+				c.count.Add(-1)
+				return false
+			}
+			return true
+		})
+	}
 	entry.once.Do(func() {
 		c.misses.Add(1)
 		entry.chol, entry.err = build()
@@ -112,6 +169,7 @@ func ResetFactorCache() {
 		sharedFactors.entries.Delete(k)
 		return true
 	})
+	sharedFactors.count.Store(0)
 	sharedFactors.hits.Store(0)
 	sharedFactors.misses.Store(0)
 }

@@ -1,12 +1,15 @@
 package thermal
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/floorplan"
+	"repro/internal/linalg"
 )
 
 // solverModels enumerates the EXP-1..EXP-4 block models plus grid models,
@@ -194,5 +197,55 @@ func TestSolverKindRoundTrip(t *testing.T) {
 	}
 	if k, err := ParseSolverKind(""); err != nil || k != SolverCached {
 		t.Fatalf("empty string should default to cached, got %v err %v", k, err)
+	}
+}
+
+// TestFactorCacheBounded pins the shared-cache eviction bound: a
+// server fed ever-new thermal systems (client-chosen grid dims or
+// resistivities) must not pin factorizations without limit.
+func TestFactorCacheBounded(t *testing.T) {
+	ResetFactorCache()
+	defer ResetFactorCache()
+	for i := 0; i < maxSharedFactorEntries+20; i++ {
+		key := fmt.Sprintf("bound-test-%d", i)
+		if _, err := sharedFactors.get(key, func() (*linalg.Cholesky, error) {
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _, misses := FactorCacheStats()
+	if entries > maxSharedFactorEntries {
+		t.Fatalf("cache holds %d entries, bound is %d", entries, maxSharedFactorEntries)
+	}
+	if misses != int64(maxSharedFactorEntries+20) {
+		t.Fatalf("factored %d systems, want %d", misses, maxSharedFactorEntries+20)
+	}
+}
+
+// TestSolverKindJSON pins the wire format the dtmserved sweep API uses.
+func TestSolverKindJSON(t *testing.T) {
+	for _, k := range []SolverKind{SolverCached, SolverSparse, SolverDense} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		if want := fmt.Sprintf("%q", k.String()); string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", k, b, want)
+		}
+		var got SolverKind
+		if err := json.Unmarshal(b, &got); err != nil || got != k {
+			t.Errorf("unmarshal %s: got %v err %v", b, got, err)
+		}
+	}
+	var k SolverKind
+	if err := json.Unmarshal([]byte(`"nope"`), &k); err == nil {
+		t.Error("unmarshal accepted an unknown solver kind")
+	}
+	if err := json.Unmarshal([]byte(`7`), &k); err == nil {
+		t.Error("unmarshal accepted a bare number")
+	}
+	if _, err := json.Marshal(SolverKind(42)); err == nil {
+		t.Error("marshal accepted an invalid solver kind")
 	}
 }

@@ -34,14 +34,33 @@ func cacheKey(cfg GenConfig) string {
 		cfg.Bench.Name, cfg.NumCores, cfg.DurationS, cfg.Seed, cfg.MeanJobS, cfg.SigmaLog)
 }
 
+// maxTraceEntries bounds the cache. Generation is deterministic, so
+// evicting and regenerating is correctness-neutral; the bound is what
+// keeps a long-running server's memory finite when clients sweep over
+// many distinct (benchmark, duration, seed) combinations, each of
+// which can pin a multi-megabyte trace forever otherwise. The limit is
+// far above what one sweep's job space touches, so local sweeps never
+// evict mid-run.
+const maxTraceEntries = 512
+
 // Get returns the trace for cfg, generating it on first use. Callers
-// must treat the returned slice as read-only — it is shared.
+// must treat the returned slice as read-only — it is shared. When the
+// cache is full, an arbitrary other entry is evicted first; goroutines
+// still holding an evicted slice keep it (it is immutable), later
+// requests simply regenerate.
 func (c *TraceCache) Get(cfg GenConfig) ([]Job, error) {
+	key := cacheKey(cfg)
 	c.mu.Lock()
-	e, ok := c.m[cacheKey(cfg)]
+	e, ok := c.m[key]
 	if !ok {
+		if len(c.m) >= maxTraceEntries {
+			for k := range c.m {
+				delete(c.m, k)
+				break
+			}
+		}
 		e = &traceEntry{}
-		c.m[cacheKey(cfg)] = e
+		c.m[key] = e
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {

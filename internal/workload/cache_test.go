@@ -66,3 +66,36 @@ func TestTraceCachePropagatesErrors(t *testing.T) {
 		t.Fatal("cache accepted invalid config")
 	}
 }
+
+// TestTraceCacheBounded pins the eviction bound: a long-running server
+// fed ever-changing seeds must not accumulate traces without limit,
+// and an evicted trace must regenerate identically on re-request.
+func TestTraceCacheBounded(t *testing.T) {
+	b, err := ByName("Web-med")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewTraceCache()
+	cfg := GenConfig{Bench: b, NumCores: 2, DurationS: 0.5}
+	for seed := int64(0); seed < maxTraceEntries+10; seed++ {
+		cfg.Seed = seed
+		if _, err := c.Get(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > maxTraceEntries {
+		t.Fatalf("cache holds %d traces, bound is %d", c.Len(), maxTraceEntries)
+	}
+	cfg.Seed = 0 // likely evicted; must regenerate bit-identically
+	got, err := c.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("regenerated trace differs from direct generation")
+	}
+}
