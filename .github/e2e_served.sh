@@ -95,6 +95,25 @@ COMPLETED1=$(metric jobs_completed_total)
 [ "$COMPLETED1" -eq "$COMPLETED0" ] ||
 	fail "repeat request ran $((COMPLETED1 - COMPLETED0)) new jobs, want 0"
 
+echo "e2e: 2b/4 reliability-enabled sweep is byte-identical and cache-isolated"
+# Reliability flips the job identity (|rel keys), so these runs must
+# NOT be served from the plain sweep's cache entries — and the rel_*
+# wear fields must survive the HTTP path byte-for-byte.
+RELJOBS0=$(metric reliability_jobs_total)
+"$WORKDIR/dtmsweep" -out jsonl -canonical -reliability $SWEEP_ARGS \
+	>"$WORKDIR/direct_rel.jsonl" 2>/dev/null || fail "direct reliability sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$ADDR" -reliability $SWEEP_ARGS \
+	>"$WORKDIR/remote_rel.jsonl" 2>/dev/null || fail "remote reliability sweep failed"
+cmp -s "$WORKDIR/direct_rel.jsonl" "$WORKDIR/remote_rel.jsonl" ||
+	fail "served reliability records differ from the direct run"
+grep -q '"rel_worst_cycle_damage"' "$WORKDIR/remote_rel.jsonl" ||
+	fail "reliability records carry no rel_* fields"
+grep -q '"rel_mttf"' "$WORKDIR/remote_rel.jsonl" ||
+	fail "reliability records carry no rel_mttf field"
+RELJOBS1=$(metric reliability_jobs_total)
+[ "$RELJOBS1" -eq $((RELJOBS0 + JOBS)) ] ||
+	fail "reliability_jobs_total went $RELJOBS0 -> $RELJOBS1, want +$JOBS"
+
 echo "e2e: 3/4 SSE framing"
 curl -sf -H 'Accept: text/event-stream' -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/sse.txt" ||
 	fail "SSE sweep failed"

@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dtmsim: ")
 
-	expFlag := flag.String("exp", "1", "experiment configuration (1..4)")
+	expFlag := flag.String("exp", "1", "experiment configuration (1..6; 5-6 are the extended 16/24-core stacks)")
 	policyFlag := flag.String("policy", "Default", "policy name: "+strings.Join(exp.PolicyOrder, ", "))
 	benchFlag := flag.String("bench", "Web-med", "Table I benchmark name")
 	durFlag := flag.Float64("duration", 300, "simulated seconds")
@@ -32,7 +32,7 @@ func main() {
 	dpmFlag := flag.Bool("dpm", false, "enable dynamic power management (fixed timeout)")
 	gridFlag := flag.Int("grid", 0, "thermal grid resolution per side (0 = block mode)")
 	traceFlag := flag.String("trace", "", "write a per-tick CSV temperature/power trace to this file")
-	relFlag := flag.Bool("reliability", false, "run the rainflow/electromigration reliability assessor")
+	relFlag := flag.Bool("reliability", false, "track lifetime metrics: per-core wear assessor plus the streaming per-block tracker (cycling damage, EM acceleration, relative MTTF)")
 	heatFlag := flag.Bool("heatmap", false, "draw per-layer ASCII heat maps of the final thermal field")
 	flag.Parse()
 
@@ -62,6 +62,7 @@ func main() {
 		GridRows:          *gridFlag,
 		GridCols:          *gridFlag,
 		AssessReliability: *relFlag,
+		TrackLifetime:     *relFlag,
 	}
 	if *traceFlag != "" {
 		f, err := os.Create(*traceFlag)
@@ -96,6 +97,14 @@ func main() {
 		worst := res.WorstCoreStress
 		fmt.Fprintf(w, "  reliability      : worst core %d — EM acceleration %.2fx, cycling damage %.3f (%d full cycles)\n",
 			worst.Core, worst.EMAcceleration, worst.CyclingDamage, worst.FullCycles)
+		if lt := res.Lifetime; lt != nil {
+			wb := lt.Worst()
+			fmt.Fprintf(w, "  lifetime         : worst block %s (layer %d) — cycling damage %.3f over %d cycles, EM %.2fx; chip total %.3f, rel. MTTF %.3g\n",
+				wb.Name, wb.Layer, wb.CycleDamage, wb.Cycles, wb.EMFactor, lt.TotalCycleDamage, lt.RelMTTF)
+			for l, d := range lt.LayerDamage {
+				fmt.Fprintf(w, "    layer %d damage : %.3f\n", l, d)
+			}
+		}
 	}
 	if *traceFlag != "" {
 		fmt.Fprintf(w, "  trace            : written to %s\n", *traceFlag)

@@ -1,16 +1,19 @@
 // Command dtmsweep regenerates the paper's evaluation: Tables I-II,
 // Figure 2 (TSV resistivity), and Figures 3-6 (hot spots without/with
 // DPM, spatial gradients, thermal cycles) across every policy and 3D
-// configuration. It doubles as the streaming sweep driver: with -out
-// it expands the configured sweep to a deterministic job list, runs it
-// on a worker pool, and streams one record per completed run, with
-// optional sharding across machines (-shard), a JSONL checkpoint
-// (-checkpoint), and resumption of a killed sweep (-resume).
+// configuration, plus the lifetime extension (-figure 7: worst-block
+// cycling damage and relative MTTF). It doubles as the streaming sweep
+// driver: with -out it expands the configured sweep to a deterministic
+// job list, runs it on a worker pool, and streams one record per
+// completed run, with optional sharding across machines (-shard), a
+// JSONL checkpoint (-checkpoint), and resumption of a killed sweep
+// (-resume).
 //
 // Usage:
 //
 //	dtmsweep                          # everything (figure mode)
 //	dtmsweep -figure 3                # one figure
+//	dtmsweep -figure 7                # lifetime report (damage + rel. MTTF)
 //	dtmsweep -duration 600            # longer runs
 //	dtmsweep -csv                     # machine-readable figure output
 //	dtmsweep -replicates 5 -figure 4  # mean±stddev cells
@@ -20,6 +23,8 @@
 //	dtmsweep -out jsonl -resume ck.jsonl -checkpoint ck.jsonl  # resume
 //	dtmsweep -out jsonl -canonical                    # deterministic byte-stable stream
 //	dtmsweep -out jsonl -remote http://host:8080      # run on a dtmserved instance
+//	dtmsweep -out jsonl -reliability                  # records carry rel_* wear fields
+//	dtmsweep -out jsonl -reliability -stress          # + degraded-TSV stress scenario
 package main
 
 import (
@@ -98,7 +103,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dtmsweep: ")
 
-	figFlag := flag.Int("figure", 0, "figure to regenerate (2..6; 0 = all, including Tables I-II)")
+	figFlag := flag.Int("figure", 0, "figure to regenerate (2..6, or 7 for the lifetime report; 0 = all paper figures including Tables I-II)")
 	durFlag := flag.Float64("duration", 300, "simulated seconds per run")
 	seedFlag := flag.Int64("seed", 1, "random seed")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables (figure mode)")
@@ -118,6 +123,8 @@ func main() {
 	dpmFlag := flag.Bool("dpm", false, "compose the fixed-timeout power manager into every run (sweep mode)")
 	durationsFlag := flag.String("durations", "", "comma-separated simulated durations in seconds (sweep mode; default: -duration)")
 	gridFlag := flag.String("grid", "", "'RxC': additionally sweep every stack in grid thermal mode with R x C cells per layer (sweep mode)")
+	relFlag := flag.Bool("reliability", false, "attach the streaming lifetime tracker to every run: sweep records carry the rel_* wear fields; figure 7 implies it")
+	stressFlag := flag.Bool("stress", false, "add the degraded-TSV stress scenario (doubled joint resistivity) to the sweep (sweep mode)")
 	workersFlag := flag.Int("workers", 0, "worker pool size (0: one per CPU)")
 	cpuProfFlag := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (inspect with go tool pprof)")
 	memProfFlag := flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
@@ -143,23 +150,25 @@ func main() {
 
 	if *outFlag != "" {
 		if err := sweepMode(sweepFlags{
-			out:        *outFlag,
-			remote:     *remoteFlag,
-			canonical:  *canonFlag,
-			shard:      *shardFlag,
-			resume:     *resumeFlag,
-			checkpoint: *ckFlag,
-			exps:       *expsFlag,
-			policies:   *policiesFlag,
-			benchmarks: *benchFlag,
-			solvers:    *solverFlag,
-			durations:  *durationsFlag,
-			grid:       *gridFlag,
-			duration:   *durFlag,
-			seed:       *seedFlag,
-			replicates: *repFlag,
-			dpm:        *dpmFlag,
-			workers:    *workersFlag,
+			out:         *outFlag,
+			remote:      *remoteFlag,
+			canonical:   *canonFlag,
+			shard:       *shardFlag,
+			resume:      *resumeFlag,
+			checkpoint:  *ckFlag,
+			exps:        *expsFlag,
+			policies:    *policiesFlag,
+			benchmarks:  *benchFlag,
+			solvers:     *solverFlag,
+			durations:   *durationsFlag,
+			grid:        *gridFlag,
+			duration:    *durFlag,
+			seed:        *seedFlag,
+			replicates:  *repFlag,
+			dpm:         *dpmFlag,
+			reliability: *relFlag,
+			stress:      *stressFlag,
+			workers:     *workersFlag,
 		}); err != nil {
 			fatal(err)
 		}
@@ -224,8 +233,15 @@ func main() {
 			fatal(err)
 		}
 		render(t)
+	case 7:
+		damage, mttf, _, err := exp.ReliabilityReport(f)
+		if err != nil {
+			fatal(err)
+		}
+		render(damage)
+		render(mttf)
 	default:
-		fatalf("unknown figure %d (want 2..6 or 0 for all)", *figFlag)
+		fatalf("unknown figure %d (want 2..7 or 0 for all paper figures)", *figFlag)
 	}
 }
 
@@ -238,6 +254,7 @@ type sweepFlags struct {
 	seed                           int64
 	replicates, workers            int
 	dpm, canonical                 bool
+	reliability, stress            bool
 }
 
 func splitList(s string) []string {
@@ -284,6 +301,9 @@ func buildSpec(f sweepFlags) (sweep.Spec, error) {
 			scenarios = append(scenarios, sweep.Scenario{Exp: e, GridRows: rows, GridCols: cols})
 		}
 	}
+	if f.stress {
+		scenarios = append(scenarios, exp.StressScenarios()...)
+	}
 
 	policies := append([]string{}, exp.PolicyOrder...)
 	if f.policies != "" {
@@ -316,14 +336,15 @@ func buildSpec(f sweepFlags) (sweep.Spec, error) {
 	}
 
 	return sweep.Spec{
-		Scenarios:  scenarios,
-		Policies:   policies,
-		Benchmarks: benches,
-		Replicates: f.replicates,
-		Seed:       f.seed,
-		Solvers:    solvers,
-		DurationsS: durations,
-		UseDPM:     f.dpm,
+		Scenarios:   scenarios,
+		Policies:    policies,
+		Benchmarks:  benches,
+		Replicates:  f.replicates,
+		Seed:        f.seed,
+		Solvers:     solvers,
+		DurationsS:  durations,
+		UseDPM:      f.dpm,
+		Reliability: f.reliability,
 	}, nil
 }
 

@@ -18,7 +18,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("floorplan3d: ")
 
-	expFlag := flag.String("exp", "", "single experiment to draw (1..4; empty = all)")
+	expFlag := flag.String("exp", "", "single experiment to draw (1..6; empty = the paper's four)")
 	widthFlag := flag.Int("width", 46, "drawing width in characters")
 	optFlag := flag.Bool("optimize", false, "run the thermally-aware tier-ordering search on each stack")
 	flag.Parse()

@@ -116,7 +116,8 @@ func NewAdapt3D(s *Stack, seed int64) (*Adapt3D, error) {
 // NewDefaultPolicy returns the baseline OS load balancer.
 func NewDefaultPolicy() Policy { return policy.NewDefault() }
 
-// PolicySet builds the paper's full 11-policy roster for a stack.
+// PolicySet builds the full 12-policy roster for a stack (the paper's
+// 11 plus the lifetime-aware DVFS_Rel).
 func PolicySet(s *Stack, seed int64) ([]Policy, error) { return exp.BuildPolicySet(s, seed) }
 
 // PolicyByName builds one policy from the roster by its Figure 3 name.

@@ -1,22 +1,3 @@
-// Package core implements Adapt3D, the paper's contribution (Section
-// III-B): a dynamic, thermally-aware job allocation policy for 3D
-// multicore stacks. Adapt3D extends probabilistic thermal-history
-// scheduling (Adaptive-Random, [7]) with a per-core thermal index α that
-// encodes how prone each core's 3D location is to hot spots — cores far
-// from the heat sink and laterally central heat up faster and cool more
-// slowly. Probability updates follow Eq. 1-3:
-//
-//	P_t = P_{t-1} + W
-//	Wdiff = Tpref - Tavg
-//	W = βinc · Wdiff · (1/αi)   if Tpref >= Tavg
-//	W = βdec · Wdiff · αi        if Tpref <  Tavg
-//
-// so cool cores in well-cooled locations gain allocation probability
-// fastest, and hot-spot-prone cores lose it fastest. Cores above the
-// critical threshold get probability zero. The policy is fully runtime
-// (no offline application profiling or per-application IPC estimation)
-// and has negligible overhead: probabilities change only at scheduling
-// intervals and sampling needs one random number.
 package core
 
 import (

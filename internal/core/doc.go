@@ -1,0 +1,31 @@
+// Package core implements Adapt3D, the paper's contribution (Section
+// III-B): a dynamic, thermally-aware job allocation policy for 3D
+// multicore stacks. Adapt3D extends probabilistic thermal-history
+// scheduling (Adaptive-Random, [7]) with a per-core thermal index α that
+// encodes how prone each core's 3D location is to hot spots — cores far
+// from the heat sink and laterally central heat up faster and cool more
+// slowly. Probability updates follow Eq. 1-3:
+//
+//	P_t = P_{t-1} + W
+//	Wdiff = Tpref - Tavg
+//	W = βinc · Wdiff · (1/αi)   if Tpref >= Tavg
+//	W = βdec · Wdiff · αi        if Tpref <  Tavg
+//
+// so cool cores in well-cooled locations gain allocation probability
+// fastest, and hot-spot-prone cores lose it fastest. Cores above the
+// critical threshold get probability zero. The policy is fully runtime
+// (no offline application profiling or per-application IPC estimation)
+// and has negligible overhead: probabilities change only at scheduling
+// intervals and sampling needs one random number.
+//
+// # Place in the dataflow
+//
+// Adapt3D implements the policy.Policy interface and is built by
+// internal/exp's roster (alone and hybridized with each DVFS variant).
+// Its thermal indices are derived offline from the block thermal model
+// at construction time — the only point it touches a solver — after
+// which Tick/AssignCore run on pure runtime signals. Like every
+// policy, an instance belongs to one simulation goroutine, and its
+// TickDecision buffers follow the policy-owned reuse rules documented
+// in internal/policy.
+package core

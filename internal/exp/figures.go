@@ -159,6 +159,32 @@ func Fig6Report(f FigureConfig) (*report.Table, *Matrix, error) {
 	return metricTableSpread(m, "Fig. 6: Thermal Cycles (With DPM) — % windows ΔT > 20 °C", func(c Cell) float64 { return c.CyclePct }, func(s CellSpread) float64 { return s.CyclePct }), m, nil
 }
 
+// ReliabilityReport is the lifetime extension of the figure set (not a
+// paper figure): it reruns the Figure-3 sweep with the streaming
+// lifetime tracker attached and renders the worst-block thermal-cycling
+// damage (JEDEC reference-cycle equivalents) and the relative-MTTF
+// estimate per (policy, experiment) cell. With Replicates > 1 the cells
+// carry mean±stddev like every other matrix report.
+func ReliabilityReport(f FigureConfig) (damage, mttf *report.Table, m *Matrix, err error) {
+	m, err = Run(MatrixConfig{
+		Exps:        f.Exps,
+		Benchmarks:  f.Benchmarks,
+		DurationS:   f.DurationS,
+		Seed:        f.Seed,
+		Solver:      f.Solver,
+		Replicates:  f.Replicates,
+		Reliability: true,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	damage = metricTableSpread(m, "Lifetime: worst-block thermal-cycling damage (reference cycles)",
+		func(c Cell) float64 { return c.WorstCycleDamage }, func(s CellSpread) float64 { return s.WorstCycleDamage })
+	mttf = metricTableSpread(m, "Lifetime: MTTF relative to an unstressed reference device",
+		func(c Cell) float64 { return c.RelMTTF }, func(s CellSpread) float64 { return s.RelMTTF })
+	return damage, mttf, m, nil
+}
+
 // WriteAllFigures runs every figure sweep and writes the reports to w.
 // It returns the matrices for further inspection.
 func WriteAllFigures(w io.Writer, f FigureConfig) (noDPM, withDPM *Matrix, err error) {

@@ -33,6 +33,9 @@ type MatrixConfig struct {
 	// and reports mean cells with a stddev Spread. 0 or 1 runs the
 	// single-seed sweep the paper figures use.
 	Replicates int
+	// Reliability attaches the streaming lifetime tracker to every run
+	// and fills the cells' WorstCycleDamage/RelMTTF columns.
+	Reliability bool
 }
 
 // DefaultBenchmarks is the workload mix driving the figure sweeps: four
@@ -64,6 +67,13 @@ type Cell struct {
 	MaxVerticalC float64
 	Migrations   int
 
+	// WorstCycleDamage is the benchmark-mean of the run's worst-block
+	// thermal-cycling damage and RelMTTF the benchmark-mean relative
+	// MTTF estimate; both are zero unless the sweep ran with
+	// MatrixConfig.Reliability.
+	WorstCycleDamage float64
+	RelMTTF          float64
+
 	// Spread holds the across-replicate sample stddev of every metric
 	// when the sweep ran with Replicates > 1; nil otherwise.
 	Spread *CellSpread
@@ -74,17 +84,19 @@ type Cell struct {
 type CellSpread struct {
 	Replicates int
 
-	HotSpotPct   float64
-	GradientPct  float64
-	CyclePct     float64
-	NormPerf     float64
-	DelayPct     float64
-	AvgPowerW    float64
-	EnergyJ      float64
-	MaxTempC     float64
-	AvgCoreTempC float64
-	MaxVerticalC float64
-	Migrations   float64
+	HotSpotPct       float64
+	GradientPct      float64
+	CyclePct         float64
+	NormPerf         float64
+	DelayPct         float64
+	AvgPowerW        float64
+	EnergyJ          float64
+	MaxTempC         float64
+	AvgCoreTempC     float64
+	MaxVerticalC     float64
+	Migrations       float64
+	WorstCycleDamage float64
+	RelMTTF          float64
 }
 
 // Matrix is the full sweep result.

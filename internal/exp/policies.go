@@ -1,7 +1,3 @@
-// Package exp assembles the paper's experiments: the full policy roster
-// of Section III, the benchmark suite of Table I, and the run matrices
-// behind Figures 3-6. It is the layer cmd/dtmsweep and the benchmark
-// harness sit on.
 package exp
 
 import (
@@ -13,13 +9,16 @@ import (
 	"repro/internal/thermal"
 )
 
-// PolicyOrder is the paper's Figure 3 x-axis ordering.
+// PolicyOrder is the paper's Figure 3 x-axis ordering, extended with
+// the lifetime-aware DVFS_Rel policy (inserted after the paper's DVFS
+// variants; everything else keeps its published position).
 var PolicyOrder = []string{
 	"Default",
 	"CGate",
 	"DVFS_TT",
 	"DVFS_Util",
 	"DVFS_FLP",
+	"DVFS_Rel",
 	"Migr",
 	"AdaptRand",
 	"Adapt3D",
@@ -28,10 +27,11 @@ var PolicyOrder = []string{
 	"Adapt3D&DVFS_FLP",
 }
 
-// BuildPolicySet constructs the full roster for one stack: the seven
-// baselines, Adapt3D with thermal indices derived offline from the block
-// thermal model, and the three hybrid policies of Section III-C. Every
-// stochastic policy gets a deterministic seed derived from seed.
+// BuildPolicySet constructs the full roster for one stack: the paper's
+// seven baselines plus the lifetime-aware DVFS_Rel, Adapt3D with
+// thermal indices derived offline from the block thermal model, and
+// the three hybrid policies of Section III-C. Every stochastic policy
+// gets a deterministic seed derived from seed.
 func BuildPolicySet(stack *floorplan.Stack, seed int64) ([]policy.Policy, error) {
 	return BuildPolicySetWith(stack, seed, thermal.SolverCached)
 }

@@ -19,14 +19,29 @@ import (
 func (c MatrixConfig) Spec() sweep.Spec {
 	c = c.withDefaults()
 	return sweep.Spec{
-		Scenarios:  sweep.ScenariosFor(c.Exps),
-		Policies:   c.Policies,
-		Benchmarks: c.Benchmarks,
-		Replicates: c.Replicates,
-		Seed:       c.Seed,
-		Solvers:    []thermal.SolverKind{c.Solver},
-		DurationsS: []float64{c.DurationS},
-		UseDPM:     c.UseDPM,
+		Scenarios:   sweep.ScenariosFor(c.Exps),
+		Policies:    c.Policies,
+		Benchmarks:  c.Benchmarks,
+		Replicates:  c.Replicates,
+		Seed:        c.Seed,
+		Solvers:     []thermal.SolverKind{c.Solver},
+		DurationsS:  []float64{c.DurationS},
+		UseDPM:      c.UseDPM,
+		Reliability: c.Reliability,
+	}
+}
+
+// StressScenarios is the reliability-stress extension of the scenario
+// space: the paper's deepest stack (EXP-4) with the joint interlayer
+// resistivity doubled, modelling a degraded TSV bond whose poor
+// vertical heat removal concentrates thermal cycling — the corner the
+// lifetime tracker and the wear-aware DVFS_Rel policy exist for. The
+// name participates in job keys as a label; the physics (Exp + joint
+// resistivity) remains the identity, so these can never collide with
+// nominal-bond runs.
+func StressScenarios() []sweep.Scenario {
+	return []sweep.Scenario{
+		{Name: "degraded-tsv", Exp: floorplan.EXP4, JointResistivityMKW: 0.46},
 	}
 }
 
@@ -63,7 +78,17 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 			return sweep.Record{}, err
 		}
 		sc := j.Scenario
-		stack, err := floorplan.Build(sc.Exp)
+		// Build the policy-construction stack with the scenario's
+		// actual interlayer physics: Adapt3D's offline thermal indices
+		// must be derived from the chip being simulated, not the
+		// nominal-bond one (the degraded-tsv stress scenario differs
+		// exactly there). Zero selects the paper's 0.23 m·K/W, same as
+		// the simulator's own default.
+		jr := sc.JointResistivityMKW
+		if jr == 0 {
+			jr = 0.23
+		}
+		stack, err := floorplan.BuildWithResistivity(sc.Exp, jr)
 		if err != nil {
 			return sweep.Record{}, err
 		}
@@ -91,6 +116,7 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 			DurationS:           j.DurationS,
 			Seed:                j.Seed,
 			Solver:              j.Solver,
+			TrackLifetime:       j.Reliability,
 			Ctx:                 ctx,
 			OnTick:              onTick,
 		})
@@ -154,10 +180,14 @@ func (c MatrixConfig) Aggregate(recs []sweep.Record) (*Matrix, error) {
 	// checkpoint may hold, say, both cached and dense runs) so they can
 	// never silently mix into the cells. If filtering leaves a hole,
 	// the completeness check below reports it.
+	// Reliability participates in the filter the same way: a shared
+	// checkpoint may hold both reliability-enabled and plain records of
+	// one logical run (their keys differ by the |rel suffix), and only
+	// the configuration's flavour may reach the cells.
 	solver := cfg.Solver.String()
 	byKey := make(map[recKey]sweep.Record, len(recs))
 	for _, r := range sweep.Dedup(recs) {
-		if r.Solver != solver || r.DurationS != cfg.DurationS {
+		if r.Solver != solver || r.DurationS != cfg.DurationS || r.Reliability != cfg.Reliability {
 			continue
 		}
 		byKey[recKey{r.Policy, r.Scenario, r.Bench, r.Replicate}] = r
@@ -203,6 +233,8 @@ func (c MatrixConfig) Aggregate(recs []sweep.Record) (*Matrix, error) {
 						cell.MaxVerticalC = r.MaxVerticalC
 					}
 					cell.Migrations += r.Migrations
+					cell.WorstCycleDamage += r.RelWorstCycleDamage
+					cell.RelMTTF += r.RelMTTF
 					norm += metrics.NormalizedPerformance(base.MeanResponseS, r.MeanResponseS)
 					delay += metrics.DelayPct(base.MeanResponseS, r.MeanResponseS)
 				}
@@ -211,6 +243,8 @@ func (c MatrixConfig) Aggregate(recs []sweep.Record) (*Matrix, error) {
 				cell.CyclePct /= nb
 				cell.AvgPowerW /= nb
 				cell.AvgCoreTempC /= nb
+				cell.WorstCycleDamage /= nb
+				cell.RelMTTF /= nb
 				cell.NormPerf = norm / nb
 				cell.DelayPct = delay / nb
 				perRep[rep] = cell
@@ -261,6 +295,8 @@ func foldReplicates(perRep []Cell) Cell {
 	fold(&out.MaxTempC, &sp.MaxTempC, func(c Cell) float64 { return c.MaxTempC })
 	fold(&out.AvgCoreTempC, &sp.AvgCoreTempC, func(c Cell) float64 { return c.AvgCoreTempC })
 	fold(&out.MaxVerticalC, &sp.MaxVerticalC, func(c Cell) float64 { return c.MaxVerticalC })
+	fold(&out.WorstCycleDamage, &sp.WorstCycleDamage, func(c Cell) float64 { return c.WorstCycleDamage })
+	fold(&out.RelMTTF, &sp.RelMTTF, func(c Cell) float64 { return c.RelMTTF })
 	var migr, migrStd float64
 	fold(&migr, &migrStd, func(c Cell) float64 { return float64(c.Migrations) })
 	out.Migrations = int(math.Round(migr))

@@ -1,13 +1,3 @@
-// Package floorplan models the physical layout of 3D-stacked multicore
-// chips: functional blocks, silicon layers, and vertical stacks, together
-// with the four experimental configurations (EXP-1..EXP-4) evaluated in
-// Coskun et al., "Dynamic Thermal Management in 3D Multicore
-// Architectures" (DATE 2009), all derived from the UltraSPARC T1
-// (Niagara-1) floorplan.
-//
-// Conventions: in-plane coordinates and extents are in millimetres;
-// layer 0 is the layer closest to the heat sink, with higher indices
-// stacked further away (harder to cool).
 package floorplan
 
 import (

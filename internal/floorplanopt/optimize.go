@@ -1,11 +1,3 @@
-// Package floorplanopt implements the design-stage alternative the paper
-// positions itself against (Section II, [9], [26]): thermally-aware 3D
-// floorplanning. It searches over the stacking order of a set of
-// prepared silicon tiers, evaluating each candidate with the steady-state
-// thermal model under a reference power map, and returns the ordering
-// with the lowest peak temperature. Dynamic policies (the paper's topic)
-// then run on whatever ordering manufacturing constraints actually
-// allow — the two approaches compose.
 package floorplanopt
 
 import (

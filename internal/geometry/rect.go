@@ -1,10 +1,3 @@
-// Package geometry provides the planar primitives used by floorplans and
-// thermal grid construction: axis-aligned rectangles in millimetres,
-// overlap and shared-boundary computation, and grid binning.
-//
-// All coordinates are in millimetres with the origin at the lower-left
-// corner of a layer. The Y axis grows upward (toward the "top" edge of the
-// die as drawn in the paper's Figure 1).
 package geometry
 
 import (

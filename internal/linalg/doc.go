@@ -1,0 +1,31 @@
+// Package linalg implements the linear algebra kernels needed by the
+// thermal RC-network solvers. It is the bottom of the stack: it knows
+// nothing about floorplans or temperatures, only CSR/dense matrices —
+// internal/thermal is its sole in-repo consumer.
+//
+// Three solve paths are available, all behind the Solver interface:
+//
+//   - Sparse direct (Cholesky): an LDLᵀ factorization of the CSR
+//     conductance matrix with a fill-reducing ordering — reverse
+//     Cuthill-McKee for small block-mode systems, minimum degree for
+//     grid-mode systems whose package "hub" nodes would otherwise
+//     cause catastrophic fill. RC conductance systems are symmetric
+//     positive definite, and factoring once then back-solving per step
+//     turns the dense O(n³) solve into O(nnz(L)) per step.
+//   - Preconditioned conjugate gradients (Sparse.SolveCG): a Jacobi-
+//     preconditioned iterative fallback for SPD systems too large to
+//     factor, or for one-shot solves where no factorization is reused.
+//   - Dense LU with partial pivoting (Factor/SolveDense): the
+//     reference path, kept for cross-validation tests, benchmark
+//     baselines, and matrices with no exploitable sparsity.
+//
+// # Buffer ownership and concurrency
+//
+// The package is deliberately small and allocation-conscious: thermal
+// simulation factors one matrix per network and then performs millions
+// of solve/mat-vec operations, so the hot paths (SolveInto-style
+// methods) write into caller-owned slices and allocate nothing. A
+// completed factorization is immutable and safe to share across
+// goroutines (the thermal factorization cache does exactly that);
+// factoring itself is not synchronized.
+package linalg

@@ -1,23 +1,3 @@
-// Package linalg implements the linear algebra kernels needed by the
-// thermal RC-network solvers.
-//
-// Three solve paths are available, all behind the Solver interface:
-//
-//   - Sparse direct (Cholesky): an LDLᵀ factorization of the CSR
-//     conductance matrix with a reverse Cuthill-McKee fill-reducing
-//     ordering. This is the production path — RC conductance systems are
-//     symmetric positive definite, and factoring once then back-solving
-//     per step turns the dense O(n³) solve into O(nnz(L)) per step.
-//   - Preconditioned conjugate gradients (Sparse.SolveCG): a Jacobi-
-//     preconditioned iterative fallback for SPD systems too large to
-//     factor, or for one-shot solves where no factorization is reused.
-//   - Dense LU with partial pivoting (Factor/SolveDense): the reference
-//     path, kept for cross-validation tests, benchmarks baselines, and
-//     matrices with no exploitable sparsity.
-//
-// The package is deliberately small and allocation-conscious: thermal
-// simulation factors one matrix per network and then performs millions of
-// solve/mat-vec operations, so those hot paths avoid allocating.
 package linalg
 
 import (

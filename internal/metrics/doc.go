@@ -1,0 +1,25 @@
+// Package metrics implements the paper's evaluation metrics (Section
+// V): thermal hot spot residency (% of time above 85 °C), per-layer
+// spatial gradients (% of time the hottest-coolest difference on any
+// layer exceeds 15 °C), vertical gradients between adjacent layers,
+// thermal cycles (sliding-window ΔT averaged over cores, % above
+// 20 °C), plus a batch rainflow cycle counter as a finer-grained
+// reliability extension and performance normalization helpers.
+//
+// # Place in the dataflow
+//
+// The simulation engine feeds a Collector once per tick with the true
+// (noise-free) block and core temperatures — the paper evaluates the
+// simulator state, not the sensor stream — and Summarize folds the
+// meters into the Summary that sim.Result carries and sweep records
+// flatten. The Rainflow counter here is the batch census form; the
+// streaming, allocation-free variant that the per-run lifetime tracker
+// and the wear-aware policy use lives in internal/reliability (Stream)
+// and is cross-validated against this one.
+//
+// # Buffer ownership and concurrency
+//
+// Collector.Record reads the passed slices synchronously and retains
+// nothing, preserving the tick loop's allocation contract. A Collector
+// and its meters belong to one simulation goroutine.
+package metrics

@@ -1,10 +1,3 @@
-// Package metrics implements the paper's evaluation metrics (Section V):
-// thermal hot spot residency (% of time above 85 °C), per-layer spatial
-// gradients (% of time the hottest-coolest difference on any layer
-// exceeds 15 °C), vertical gradients between adjacent layers, thermal
-// cycles (sliding-window ΔT averaged over cores, % above 20 °C), plus a
-// rainflow cycle counter as a finer-grained reliability extension and
-// performance normalization helpers.
 package metrics
 
 import (

@@ -1,0 +1,31 @@
+// Package policy defines the dynamic thermal management policy
+// interface and implements every baseline the paper evaluates (Section
+// III): clock gating, the DVFS variants (temperature-triggered,
+// utilization-based, floorplan-aware), thermal migration, the
+// Adaptive-Random allocator of [7], hybrid combinations, the DPM
+// fixed-timeout power manager — plus the lifetime-aware DVFS_Rel
+// extension, which balances accumulated rainflow cycling damage across
+// cores using the streaming accumulators of internal/reliability. The
+// paper's own contribution, Adapt3D, lives in internal/core and plugs
+// into the same interface.
+//
+// # Place in the dataflow
+//
+// The simulation engine (internal/sim) drives a Policy twice per
+// event: AssignCore when a job arrives, and Tick once per 100 ms
+// scheduling interval with a View of exactly the signals the paper's
+// runtime has (sensor temperatures, utilization, queue state) — no
+// offline profiling, no IPC counters. The returned TickDecision is
+// actuated by the engine: V/f levels and clock gates take effect this
+// interval, migrations move jobs between the scheduler's queues.
+//
+// # Buffer ownership and concurrency
+//
+// TickDecision slices are policy-owned scratch, valid only until the
+// policy's next Tick call; policies reuse them across ticks so the
+// simulator's hot loop stays allocation-free, and the engine copies
+// them into its own buffers immediately. The View's slices are
+// engine-owned and read-only for the policy. A Policy instance belongs
+// to exactly one simulation goroutine — nothing here is safe for
+// concurrent use; the sweep layer builds a fresh roster per run.
+package policy

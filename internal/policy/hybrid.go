@@ -69,10 +69,11 @@ func (d DPM) ShouldSleep(idleS float64) bool {
 	return d.TimeoutS > 0 && idleS >= d.TimeoutS
 }
 
-// Registry builds the paper's full policy list for a machine with
-// numCores cores: Default, CGate, DVFS_TT, DVFS_Util, DVFS_FLP, Migr,
-// AdaptRand, plus (via internal/core) Adapt3D and its hybrids, appended
-// by the caller. The seed feeds the stochastic allocators.
+// Registry builds the paper's policy list — Default, CGate, DVFS_TT,
+// DVFS_Util, DVFS_FLP, Migr, AdaptRand — plus the lifetime-aware
+// DVFS_Rel extension, for a machine with numCores cores. Adapt3D and
+// its hybrids (via internal/core) are appended by the caller. The seed
+// feeds the stochastic allocators.
 func Registry(numCores int, seed int64) ([]Policy, error) {
 	ar, err := NewAdaptRand(numCores, seed)
 	if err != nil {
@@ -84,6 +85,7 @@ func Registry(numCores int, seed int64) ([]Policy, error) {
 		NewDVFSTT(),
 		NewDVFSUtil(),
 		NewDVFSFLP(),
+		NewDVFSRel(),
 		NewMigr(),
 		ar,
 	}, nil

@@ -1,9 +1,3 @@
-// Package policy defines the dynamic thermal management policy interface
-// and implements every baseline the paper evaluates (Section III):
-// clock gating, three DVFS variants, migration, the Adaptive-Random
-// allocator of [7], hybrid combinations, and the DPM fixed-timeout power
-// manager. The paper's own contribution, Adapt3D, lives in
-// internal/core and plugs into the same interface.
 package policy
 
 import (

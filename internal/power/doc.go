@@ -1,0 +1,25 @@
+// Package power implements the paper's power model (Section IV-B):
+// per-core active/idle/sleep states, three-level DVFS with P ∝ f·V²
+// scaling, temperature- and voltage-dependent leakage (second-order
+// polynomial in the style of Su et al. [25], calibrated to 0.5 W/mm²
+// at 383 K), CACTI-derived L2 cache power, activity-scaled crossbar
+// power, and per-category energy accounting.
+//
+// # Place in the dataflow
+//
+// Each simulation tick, the engine (internal/sim) assembles a
+// ChipInput from the scheduler's utilization/state vector and the
+// previous interval's block temperatures (the leakage feedback loop),
+// and Model.ComputeInto fills the per-block power vector that drives
+// the thermal model's next transient step. The DVFSTable doubles as
+// the policy layer's actuator vocabulary: policies pick VfLevels, the
+// engine converts them to frequency scales for the scheduler and
+// voltage/frequency factors for this model.
+//
+// # Buffer ownership and concurrency
+//
+// ComputeInto writes into a caller-owned block-power slice and retains
+// neither it nor the input temperature slice — the tick loop's
+// allocation contract depends on that. Model values are plain data;
+// distinct simulations use distinct copies and nothing here locks.
+package power

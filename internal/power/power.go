@@ -1,9 +1,3 @@
-// Package power implements the paper's power model (Section IV-B): per-
-// core active/idle/sleep states, three-level DVFS with P ∝ f·V² scaling,
-// temperature- and voltage-dependent leakage (second-order polynomial in
-// the style of Su et al. [25], calibrated to 0.5 W/mm² at 383 K), CACTI-
-// derived L2 cache power, activity-scaled crossbar power, and per-
-// category energy accounting.
 package power
 
 import (

@@ -1,10 +1,3 @@
-// Package reliability converts the thermal histories produced by the
-// simulator into the failure-mechanism terms the paper argues about
-// (Section I and [13], JEDEC JEP122C): thermal-cycling fatigue
-// (Coffin-Manson over a rainflow cycle census) and temperature-
-// accelerated wear-out such as electromigration (Black's equation).
-// It extends the paper's percentage metrics into relative-MTTF
-// estimates, the quantity lifetime-aware schedulers ultimately target.
 package reliability
 
 import (

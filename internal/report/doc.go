@@ -1,0 +1,7 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV, and simple bar charts for terminal consumption. It is the
+// presentation tail of the pipeline: internal/exp builds its figure
+// and lifetime matrices into Tables here, and cmd/dtmsweep's figure
+// mode renders them to stdout. Tables are plain value builders with no
+// internal synchronization — build and render on one goroutine.
+package report

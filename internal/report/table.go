@@ -1,5 +1,3 @@
-// Package report renders experiment results as aligned ASCII tables, CSV,
-// and simple bar charts for terminal consumption.
 package report
 
 import (

@@ -1,0 +1,25 @@
+// Package sched models the multi-queue dispatcher of the paper's
+// Section IV-D: every core owns a dispatch queue, the job scheduler
+// allocates arriving threads to queues according to the active policy,
+// queues execute in order, and jobs can be migrated (or swapped)
+// between queues at a fixed cost (1 ms measured on Solaris/UltraSPARC
+// T1, Section V-A).
+//
+// # Place in the dataflow
+//
+// The simulation engine (internal/sim) owns one Machine per run: the
+// policy's AssignCore decision becomes Enqueue, its TickDecision
+// migrations become Migrate/MoveTail, and each tick advances every
+// queue by the interval scaled with the core's DVFS speed
+// (AdvanceInto). The Machine's outputs — per-core utilization, queue
+// lengths, memory activity — feed back into the next tick's policy
+// View and the power model, and ComputeStats summarizes completions,
+// response times, and migration counts into the run result.
+//
+// # Buffer ownership and concurrency
+//
+// The *Into methods (AdvanceInto, QueueLensInto, MemActivityInto)
+// write into caller-owned slices and retain nothing, keeping the tick
+// loop allocation-free. A Machine belongs to one simulation goroutine;
+// it has no internal locking.
+package sched

@@ -1,8 +1,3 @@
-// Package sched models the multi-queue dispatcher of the paper's Section
-// IV-D: every core owns a dispatch queue, the job scheduler allocates
-// arriving threads to queues according to the active policy, queues
-// execute in order, and jobs can be migrated (or swapped) between queues
-// at a fixed cost (1 ms measured on Solaris/UltraSPARC T1, Section V-A).
 package sched
 
 import (

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -41,6 +42,16 @@ type Metrics struct {
 	// a fully cache-served request leaves it untouched.
 	SimTicks       int64   `json:"sim_ticks_total"`
 	TicksPerSecond float64 `json:"ticks_per_second"`
+
+	// Lifetime accounting over reliability-enabled jobs that completed
+	// on this process (cache hits excluded, like the job counters):
+	// the number of such jobs, the sum of their total per-block cycling
+	// damage, and the worst single-block cycling damage any of them
+	// observed. A fleet scheduler can watch the max to spot a scenario
+	// that is chewing through its thermal budget.
+	ReliabilityJobs     int64   `json:"reliability_jobs_total"`
+	CycleDamageTotal    float64 `json:"cycle_damage_total"`
+	WorstBlockDamageMax float64 `json:"worst_block_cycle_damage_max"`
 }
 
 // counters holds the hot-path counters as atomics so workers and
@@ -48,20 +59,54 @@ type Metrics struct {
 // OnTick in particular fires once per simulated tick (~17 µs apart per
 // worker).
 type counters struct {
-	start          time.Time
-	requestsTotal  atomic.Int64
-	requestsActive atomic.Int64
-	jobsSubmitted  atomic.Int64
-	jobsCompleted  atomic.Int64
-	jobsFailed     atomic.Int64
-	jobsCanceled   atomic.Int64
-	queueDepth     atomic.Int64
-	activeJobs     atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	inflightJoins  atomic.Int64
-	simTicks       atomic.Int64
+	start           time.Time
+	requestsTotal   atomic.Int64
+	requestsActive  atomic.Int64
+	jobsSubmitted   atomic.Int64
+	jobsCompleted   atomic.Int64
+	jobsFailed      atomic.Int64
+	jobsCanceled    atomic.Int64
+	queueDepth      atomic.Int64
+	activeJobs      atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	inflightJoins   atomic.Int64
+	simTicks        atomic.Int64
+	reliabilityJobs atomic.Int64
+	damageTotal     atomicFloat
+	worstDamageMax  atomicFloat
 }
+
+// atomicFloat is a float64 with lock-free Add/Max, for the damage
+// accumulators workers update as reliability-enabled jobs finish.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+// Add folds v into the value with a CAS loop.
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Max raises the value to v if v is larger.
+func (f *atomicFloat) Max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // snapshot folds the counters into the wire document. Cache gauges are
 // filled in by the caller, which holds the server state lock.
@@ -88,5 +133,9 @@ func (c *counters) snapshot(workers int) Metrics {
 		InflightJoins:  c.inflightJoins.Load(),
 		SimTicks:       ticks,
 		TicksPerSecond: tps,
+
+		ReliabilityJobs:     c.reliabilityJobs.Load(),
+		CycleDamageTotal:    c.damageTotal.Load(),
+		WorstBlockDamageMax: c.worstDamageMax.Load(),
 	}
 }

@@ -1,17 +1,3 @@
-// Package server is dtmserved's serving layer: a long-running HTTP
-// service that accepts sweep requests (JSON bodies mapping onto
-// sweep.Spec), executes them on a bounded worker pool, and streams the
-// per-run records back as JSONL (or SSE for browser clients) in the
-// spec's canonical job order, so two requests for the same spec yield
-// byte-identical streams.
-//
-// Identical jobs are deduplicated at two levels, both keyed by the
-// orchestrator's deterministic job keys: an LRU result cache serves
-// repeated jobs from memory without simulating a single tick, and an
-// in-flight table joins concurrent requests for a job that is already
-// running. Per-job contexts are refcounted across the requests waiting
-// on them — a job is canceled when the last interested request
-// disconnects, and never before.
 package server
 
 import (
@@ -225,6 +211,11 @@ func (s *Server) finish(c *call, rec sweep.Record, err error) {
 	switch {
 	case err == nil:
 		s.met.jobsCompleted.Add(1)
+		if c.job.Reliability {
+			s.met.reliabilityJobs.Add(1)
+			s.met.damageTotal.Add(rec.RelTotalCycleDamage)
+			s.met.worstDamageMax.Max(rec.RelWorstCycleDamage)
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.met.jobsCanceled.Add(1)
 	default:

@@ -1,9 +1,3 @@
-// Package sim is the dynamic management infrastructure of Section IV-D:
-// it couples the synthetic workload, the multi-queue job scheduler, the
-// management policy under test, the power model (with its leakage
-// feedback loop), and the 3D thermal model, advancing everything on a
-// common 100 ms sampling/scheduling tick, and collects the paper's
-// metrics.
 package sim
 
 import (
@@ -83,6 +77,15 @@ type Config struct {
 	// attaches per-core reports to the result.
 	AssessReliability bool
 
+	// TrackLifetime attaches a streaming reliability.Tracker to the
+	// per-block temperature field: every tick feeds the tracker's
+	// allocation-free rainflow/electromigration accumulators, and the
+	// run's Result carries the Lifetime wear report (per-block and
+	// per-layer cycling damage, EM acceleration, relative MTTF). Unlike
+	// AssessReliability it stores no cycle censuses, so its cost is
+	// constant in the run length and every sweep run can afford it.
+	TrackLifetime bool
+
 	// TraceWriter, when non-nil, receives a per-tick CSV trace:
 	// time_s, total power (W), then one temperature column per core.
 	TraceWriter io.Writer
@@ -101,6 +104,18 @@ type Config struct {
 	// a closure that only bumps an atomic counter keeps the tick loop
 	// allocation-free.
 	OnTick func(ticksCompleted int)
+
+	// OnTemps, when non-nil, is invoked once after every completed tick
+	// with the block and core temperature fields of that tick — the
+	// observation hook the lifetime tracker is built on, exposed so
+	// external accumulators (serving-layer wear aggregation, custom
+	// reliability models) can stream the same signals. Both slices are
+	// engine-owned scratch, valid only for the duration of the call:
+	// read, fold into your own state, and return — do not retain or
+	// mutate them. Like OnTick it runs on the simulation goroutine and
+	// must be cheap, non-blocking, and allocation-free to preserve the
+	// tick loop's allocation contract.
+	OnTemps func(blockTempsC, coreTempsC []float64)
 }
 
 // withDefaults fills in the paper's settings and validates.

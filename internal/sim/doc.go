@@ -1,0 +1,48 @@
+// Package sim is the dynamic management infrastructure of Section IV-D
+// — the engine that every simulation in the repository ultimately runs
+// through. It couples the synthetic workload (internal/workload), the
+// multi-queue job scheduler (internal/sched), the management policy
+// under test (internal/policy, internal/core), the power model with its
+// leakage feedback loop (internal/power), and the 3D thermal model
+// (internal/thermal), advancing everything on a common 100 ms
+// sampling/scheduling tick, and collects the paper's metrics
+// (internal/metrics) plus the streaming lifetime wear report
+// (internal/reliability) when requested.
+//
+// # Place in the dataflow
+//
+// sim sits at the centre of the five-layer stack:
+//
+//	sweep.Spec ─▶ sweep.Job ─▶ exp runner ─▶ sim.Run ─▶ sim.Result
+//	                                            │
+//	             workload / sched / policy / power / thermal / metrics / reliability
+//
+// Callers describe one run with Config and receive a Result; the sweep
+// orchestrator (internal/sweep) flattens Results into wire records, and
+// the serving layer (internal/server) streams those over HTTP.
+//
+// # The tick loop and its allocation contract
+//
+// Run builds an internal engine that preallocates every per-tick
+// buffer, then executes the tick pipeline: dispatch arrivals via the
+// policy, apply the policy's TickDecision, advance the scheduler,
+// compute power with temperature-dependent leakage, step the thermal
+// network, read sensors, and record metrics. In steady state the loop
+// performs zero heap allocations — TestTickLoopAllocationContract
+// enforces ≤ 2 allocs/tick (measured 0) for every policy family,
+// including runs with the lifetime tracker attached.
+//
+// # Hooks and buffer ownership
+//
+// Config.OnTick and Config.OnTemps are per-tick observation hooks; both
+// run on the simulation goroutine and must be cheap, non-blocking, and
+// allocation-free. The slices passed to OnTemps are engine-owned
+// scratch, valid only for the duration of the call — fold them into
+// caller state, never retain them. Policy TickDecision slices are
+// policy-owned and copied by the engine immediately (see
+// policy.TickDecision for the full ownership rules).
+//
+// A single engine (one Run call) is strictly single-goroutine;
+// concurrency lives above it in the sweep worker pool, with one engine
+// per worker.
+package sim

@@ -41,6 +41,11 @@ type Result struct {
 	Reliability     []reliability.CoreReport
 	WorstCoreStress reliability.CoreReport
 
+	// Lifetime is the streaming per-block wear report (cycling damage,
+	// EM acceleration, relative MTTF) when Config.TrackLifetime is set;
+	// nil otherwise.
+	Lifetime *reliability.Report
+
 	// FinalBlockTempsC is the block temperature field at the end of the
 	// run (stack block order), usable with thermal.RenderHeatmap.
 	FinalBlockTempsC []float64
@@ -178,6 +183,7 @@ type engine struct {
 	collector *metrics.Collector
 	energy    *power.EnergyMeter
 	assessor  *reliability.Assessor
+	lifetime  *reliability.Tracker
 	trace     *traceWriter
 
 	jobs   []workload.Job
@@ -335,6 +341,21 @@ func newEngine(cfg Config) (*engine, error) {
 
 	if cfg.AssessReliability {
 		if e.assessor, err = reliability.NewAssessor(n, cfg.TickS); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TrackLifetime {
+		if e.lifetime, err = reliability.NewTracker(stack.NumBlocks(), cfg.TickS); err != nil {
+			return nil, err
+		}
+		blocks := stack.Blocks()
+		names := make([]string, len(blocks))
+		layers := make([]int, len(blocks))
+		for i, b := range blocks {
+			names[i] = b.Name
+			layers[i] = b.Layer
+		}
+		if err := e.lifetime.SetMeta(names, layers); err != nil {
 			return nil, err
 		}
 	}
@@ -537,6 +558,14 @@ func (e *engine) tick(tick int) error {
 			return err
 		}
 	}
+	if e.lifetime != nil {
+		if err := e.lifetime.Observe(e.blockTemps); err != nil {
+			return err
+		}
+	}
+	if cfg.OnTemps != nil {
+		cfg.OnTemps(e.blockTemps, e.coreTemps)
+	}
 	if e.trace != nil {
 		if err := e.trace.row(now+cfg.TickS, power.Total(e.blockPower), e.coreTemps); err != nil {
 			return err
@@ -557,6 +586,10 @@ func (e *engine) finish() *Result {
 	if e.assessor != nil {
 		res.Reliability = e.assessor.Report()
 		res.WorstCoreStress = e.assessor.WorstCore()
+	}
+	if e.lifetime != nil {
+		rep := e.lifetime.Report()
+		res.Lifetime = &rep
 	}
 	res.Sched = e.machine.ComputeStats()
 	res.JobsCompleted = res.Sched.Completed

@@ -80,12 +80,17 @@ func TestRunExecutesAllTicks(t *testing.T) {
 // busy cores, leakage loop, thermal step, sensing, metrics) with no
 // job-lifecycle churn.
 func steadyEngine(tb testing.TB, pol policy.Policy) *engine {
-	tb.Helper()
-	cfg := Config{
+	return steadyEngineCfg(tb, Config{
 		Policy:    pol,
 		DurationS: 1800,
 		Seed:      1,
-	}
+	})
+}
+
+// steadyEngineCfg is steadyEngine with a caller-supplied config (the
+// lifetime-tracker contract variant flips TrackLifetime on).
+func steadyEngineCfg(tb testing.TB, cfg Config) *engine {
+	tb.Helper()
 	n := 8 // EXP-1 cores
 	jobs := make([]workload.Job, 2*n)
 	for i := range jobs {
@@ -135,17 +140,34 @@ func TestTickLoopAllocationContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pc := range []struct {
-		name string
-		pol  policy.Policy
+		name     string
+		pol      policy.Policy
+		lifetime bool
 	}{
-		{"Default", policy.NewDefault()},
-		{"DVFS_TT", policy.NewDVFSTT()},
-		{"CGate", policy.NewCGate()},
-		{"Migr", policy.NewMigr()},
-		{"AdaptRand", adaptRand},
+		{"Default", policy.NewDefault(), false},
+		{"DVFS_TT", policy.NewDVFSTT(), false},
+		{"CGate", policy.NewCGate(), false},
+		{"Migr", policy.NewMigr(), false},
+		{"AdaptRand", adaptRand, false},
+		// The streaming lifetime tracker must preserve the contract:
+		// reliability-enabled sweeps run the same zero-alloc loop.
+		{"Default+lifetime", policy.NewDefault(), true},
+		{"DVFS_Rel+lifetime", policy.NewDVFSRel(), true},
 	} {
 		t.Run(pc.name, func(t *testing.T) {
-			e := steadyEngine(t, pc.pol)
+			// A representative OnTemps consumer (fold, don't retain)
+			// rides along: the observation hook must not cost the
+			// contract anything either.
+			sum := 0.0
+			e := steadyEngineCfg(t, Config{
+				Policy:        pc.pol,
+				DurationS:     1800,
+				Seed:          1,
+				TrackLifetime: pc.lifetime,
+				OnTemps: func(blockTempsC, coreTempsC []float64) {
+					sum += blockTempsC[0] + coreTempsC[0]
+				},
+			})
 			tick := 0
 			// Warm up: drain arrival dispatch and policy lazy init.
 			for ; tick < 50; tick++ {
@@ -162,6 +184,47 @@ func TestTickLoopAllocationContract(t *testing.T) {
 			if avg > 2 {
 				t.Errorf("steady-state tick averages %.2f allocs, want <= 2", avg)
 			}
+			if sum == 0 {
+				t.Error("OnTemps hook never observed a temperature")
+			}
 		})
+	}
+}
+
+// TestOnTempsHook pins the observation hook's contract: it fires once
+// per completed tick with the block- and core-width temperature
+// vectors of that tick, and the final observation matches the run's
+// reported final state.
+func TestOnTempsHook(t *testing.T) {
+	calls := 0
+	var lastBlocks, lastCores []float64
+	cfg := shortCfg(t, policy.NewDefault())
+	cfg.OnTemps = func(blockTempsC, coreTempsC []float64) {
+		calls++
+		// Fold into caller state (the documented pattern); the slices
+		// themselves are engine-owned and must not be retained, so
+		// copy what the assertion needs.
+		lastBlocks = append(lastBlocks[:0], blockTempsC...)
+		lastCores = append(lastCores[:0], coreTempsC...)
+	}
+	cfg.TrackLifetime = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Ticks {
+		t.Errorf("OnTemps fired %d times over %d ticks", calls, res.Ticks)
+	}
+	if len(lastBlocks) != len(res.FinalBlockTempsC) {
+		t.Fatalf("OnTemps block width %d, want %d", len(lastBlocks), len(res.FinalBlockTempsC))
+	}
+	for i := range lastBlocks {
+		if lastBlocks[i] != res.FinalBlockTempsC[i] {
+			t.Fatalf("last OnTemps observation differs from final block temps at %d: %g vs %g",
+				i, lastBlocks[i], res.FinalBlockTempsC[i])
+		}
+	}
+	if len(lastCores) == 0 || len(lastCores) >= len(lastBlocks) {
+		t.Errorf("core vector width %d implausible against %d blocks", len(lastCores), len(lastBlocks))
 	}
 }

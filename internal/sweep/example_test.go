@@ -1,0 +1,61 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/sweep"
+)
+
+// ExampleSpec_Expand shows how a declarative spec enumerates its
+// deterministic job list: the cross product in canonical order, with
+// a baseline-only reference run appended because the baseline policy
+// is not part of the roster, and a stable key per job. Two processes
+// expanding this spec — a shard worker, a resumed invocation, a
+// dtmserved instance — agree on every key.
+func ExampleSpec_Expand() {
+	spec := sweep.Spec{
+		Scenarios:   sweep.ScenariosFor([]floorplan.Experiment{floorplan.EXP1, floorplan.EXP3}),
+		Policies:    []string{"DVFS_Rel"},
+		Benchmarks:  []string{"Web-med"},
+		Seed:        1,
+		DurationsS:  []float64{30},
+		Reliability: true,
+	}
+	for _, j := range spec.Expand() {
+		fmt.Println(j.Key())
+	}
+	// Output:
+	// EXP-1|DVFS_Rel|Web-med|r0.s1|cached|30s|nodpm|rel
+	// EXP-3|DVFS_Rel|Web-med|r0.s1|cached|30s|nodpm|rel
+	// EXP-1|Default|Web-med|r0.s1|cached|30s|nodpm|rel
+	// EXP-3|Default|Web-med|r0.s1|cached|30s|nodpm|rel
+}
+
+// ExampleShard partitions a job list by stable key hash: shards are
+// disjoint, cover the whole list, and every invocation of the same
+// spec agrees on which shard owns which job — no coordination needed
+// to split a sweep across machines.
+func ExampleShard() {
+	jobs := sweep.Spec{
+		Scenarios:  sweep.ScenariosFor(floorplan.AllExperiments()),
+		Policies:   []string{"Default"},
+		Benchmarks: []string{"Web-med", "Database"},
+		DurationsS: []float64{30},
+	}.Expand()
+	total := 0
+	for i := 0; i < 3; i++ {
+		shard, err := sweep.Shard(jobs, i, 3)
+		if err != nil {
+			panic(err)
+		}
+		total += len(shard)
+		fmt.Printf("shard %d/3: %d jobs\n", i, len(shard))
+	}
+	fmt.Printf("union: %d of %d\n", total, len(jobs))
+	// Output:
+	// shard 0/3: 3 jobs
+	// shard 1/3: 2 jobs
+	// shard 2/3: 3 jobs
+	// union: 8 of 8
+}

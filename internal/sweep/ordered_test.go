@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"reflect"
 	"testing"
 )
 
@@ -147,7 +148,7 @@ func TestExecuteOrderedStreamIsDeterministic(t *testing.T) {
 		t.Fatalf("streams have %d and %d records, want %d", len(a), len(b), len(jobs))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("record %d differs across runs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

@@ -19,7 +19,12 @@ type Record struct {
 	Solver    string  `json:"solver"`
 	DurationS float64 `json:"duration_s"`
 	UseDPM    bool    `json:"use_dpm"`
-	Baseline  bool    `json:"baseline,omitempty"`
+	// Reliability marks a record produced with the streaming lifetime
+	// tracker attached; only such records carry the Rel* fields below.
+	// Aggregators use it to keep reliability-enabled and plain records
+	// of the same logical run apart.
+	Reliability bool `json:"reliability,omitempty"`
+	Baseline    bool `json:"baseline,omitempty"`
 
 	HotSpotPct    float64 `json:"hot_spot_pct"`
 	GradientPct   float64 `json:"gradient_pct"`
@@ -34,25 +39,49 @@ type Record struct {
 	JobsCompleted int     `json:"jobs_completed"`
 	Ticks         int     `json:"ticks"`
 
+	// Lifetime wear metrics, present only on reliability-enabled runs
+	// (Job.Reliability). All are pure functions of the simulated
+	// temperatures, so they share the run metrics' determinism: the
+	// same job yields byte-identical values in-process and through
+	// dtmserved.
+	//
+	// RelWorstBlock names the block with the highest accumulated
+	// thermal-cycling damage; RelWorstCycleDamage is that damage in
+	// JEDEC reference-cycle equivalents, RelTotalCycleDamage the sum
+	// over all blocks, RelLayerDamage its per-die-layer breakdown
+	// (index 0 = nearest the heat sink), RelWorstEMFactor the highest
+	// per-block time-averaged electromigration acceleration (Black's
+	// equation, 1.0 at the 85 °C reference), and RelMTTF the estimated
+	// mean-time-to-failure relative to an unstressed reference device.
+	RelWorstBlock       string    `json:"rel_worst_block,omitempty"`
+	RelWorstCycleDamage float64   `json:"rel_worst_cycle_damage,omitempty"`
+	RelTotalCycleDamage float64   `json:"rel_total_cycle_damage,omitempty"`
+	RelLayerDamage      []float64 `json:"rel_layer_damage,omitempty"`
+	RelWorstEMFactor    float64   `json:"rel_worst_em_factor,omitempty"`
+	RelMTTF             float64   `json:"rel_mttf,omitempty"`
+
 	// ElapsedMS is the wall-clock cost of the run. It is informational
 	// (perf tracking in CI); aggregation ignores it, so records from
 	// machines of different speeds still merge to identical matrices.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
-// NewRecord flattens a simulation result into the job's record.
+// NewRecord flattens a simulation result into the job's record. When
+// the result carries a lifetime report (the job ran with the streaming
+// reliability tracker), the record's Rel* fields are filled from it.
 func NewRecord(j Job, r *sim.Result, elapsedMS float64) Record {
-	return Record{
-		Key:       j.Key(),
-		Scenario:  j.Scenario.ID(),
-		Policy:    j.Policy,
-		Bench:     j.Bench,
-		Replicate: j.Replicate,
-		Seed:      j.Seed,
-		Solver:    j.Solver.String(),
-		DurationS: j.DurationS,
-		UseDPM:    j.UseDPM,
-		Baseline:  j.Baseline,
+	rec := Record{
+		Key:         j.Key(),
+		Scenario:    j.Scenario.ID(),
+		Policy:      j.Policy,
+		Bench:       j.Bench,
+		Replicate:   j.Replicate,
+		Seed:        j.Seed,
+		Solver:      j.Solver.String(),
+		DurationS:   j.DurationS,
+		UseDPM:      j.UseDPM,
+		Reliability: j.Reliability,
+		Baseline:    j.Baseline,
 
 		HotSpotPct:    r.Metrics.HotSpotPct,
 		GradientPct:   r.Metrics.GradientPct,
@@ -68,4 +97,14 @@ func NewRecord(j Job, r *sim.Result, elapsedMS float64) Record {
 		Ticks:         r.Ticks,
 		ElapsedMS:     elapsedMS,
 	}
+	if lt := r.Lifetime; lt != nil {
+		w := lt.Worst()
+		rec.RelWorstBlock = w.Name
+		rec.RelWorstCycleDamage = w.CycleDamage
+		rec.RelTotalCycleDamage = lt.TotalCycleDamage
+		rec.RelLayerDamage = lt.LayerDamage
+		rec.RelWorstEMFactor = lt.WorstEMFactor
+		rec.RelMTTF = lt.RelMTTF
+	}
+	return rec
 }

@@ -65,13 +65,18 @@ func (s *JSONLSink) Close() error {
 	return f.Sync()
 }
 
-// csvHeader is the CSVSink column order.
+// csvHeader is the CSVSink column order. The rel_* columns mirror the
+// JSONL reliability fields and are empty/zero on runs without the
+// lifetime tracker; rel_layer_damage flattens the per-layer array with
+// ';' separators to stay one CSV cell.
 var csvHeader = []string{
 	"key", "scenario", "policy", "bench", "replicate", "seed", "solver",
-	"duration_s", "use_dpm", "baseline", "hot_spot_pct", "gradient_pct",
-	"cycle_pct", "avg_power_w", "energy_j", "max_temp_c", "avg_core_temp_c",
-	"max_vertical_c", "migrations", "mean_response_s", "jobs_completed",
-	"ticks", "elapsed_ms",
+	"duration_s", "use_dpm", "reliability", "baseline", "hot_spot_pct",
+	"gradient_pct", "cycle_pct", "avg_power_w", "energy_j", "max_temp_c",
+	"avg_core_temp_c", "max_vertical_c", "migrations", "mean_response_s",
+	"jobs_completed", "ticks", "rel_worst_block", "rel_worst_cycle_damage",
+	"rel_total_cycle_damage", "rel_layer_damage", "rel_worst_em_factor",
+	"rel_mttf", "elapsed_ms",
 }
 
 // CSVSink streams records as CSV rows with a header line.
@@ -95,14 +100,24 @@ func (s *CSVSink) Put(r Record) error {
 		s.wrote = true
 	}
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var layers []byte
+	for i, v := range r.RelLayerDamage {
+		if i > 0 {
+			layers = append(layers, ';')
+		}
+		layers = strconv.AppendFloat(layers, v, 'g', -1, 64)
+	}
 	row := []string{
 		r.Key, r.Scenario, r.Policy, r.Bench, strconv.Itoa(r.Replicate),
 		strconv.FormatInt(r.Seed, 10), r.Solver, g(r.DurationS),
-		strconv.FormatBool(r.UseDPM), strconv.FormatBool(r.Baseline),
+		strconv.FormatBool(r.UseDPM), strconv.FormatBool(r.Reliability),
+		strconv.FormatBool(r.Baseline),
 		g(r.HotSpotPct), g(r.GradientPct), g(r.CyclePct), g(r.AvgPowerW),
 		g(r.EnergyJ), g(r.MaxTempC), g(r.AvgCoreTempC), g(r.MaxVerticalC),
 		strconv.Itoa(r.Migrations), g(r.MeanResponseS),
-		strconv.Itoa(r.JobsCompleted), strconv.Itoa(r.Ticks), g(r.ElapsedMS),
+		strconv.Itoa(r.JobsCompleted), strconv.Itoa(r.Ticks),
+		r.RelWorstBlock, g(r.RelWorstCycleDamage), g(r.RelTotalCycleDamage),
+		string(layers), g(r.RelWorstEMFactor), g(r.RelMTTF), g(r.ElapsedMS),
 	}
 	if err := s.w.Write(row); err != nil {
 		return err

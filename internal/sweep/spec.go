@@ -1,11 +1,3 @@
-// Package sweep is the experiment orchestration layer: it expands a
-// declarative Spec (the cross product of scenarios x policies x
-// benchmarks x replicate seeds x solver kinds x durations) into a
-// deterministic job list, executes it on a bounded worker pool, and
-// streams per-run Records to pluggable sinks as runs complete. Stable
-// job keys make any sweep shardable across invocations (Shard) and
-// resumable from a JSONL checkpoint (LoadCheckpoint + Options.Skip).
-// Package exp builds the paper's figure matrices on top of it.
 package sweep
 
 import (
@@ -96,6 +88,13 @@ type Spec struct {
 	DurationsS []float64 `json:"durations_s,omitempty"`
 	// UseDPM composes the fixed-timeout power manager into every run.
 	UseDPM bool `json:"use_dpm,omitempty"`
+	// Reliability attaches the streaming lifetime tracker to every run:
+	// records then carry the rel_* wear fields (worst-block cycling
+	// damage, per-layer damage, EM acceleration, relative MTTF). It is
+	// part of the job identity — reliability-enabled records hold more
+	// fields, so they must never be served from a cache entry written
+	// without them.
+	Reliability bool `json:"reliability,omitempty"`
 	// Baseline is the policy normalized against (empty: "Default").
 	// When it is not already in Policies, Expand appends baseline-only
 	// jobs so every (scenario, benchmark, replicate, solver, duration)
@@ -143,6 +142,9 @@ type Job struct {
 	Solver    thermal.SolverKind
 	DurationS float64
 	UseDPM    bool
+	// Reliability runs the job with the streaming lifetime tracker and
+	// fills the record's rel_* fields.
+	Reliability bool
 	// Baseline marks a reference run appended by Expand because the
 	// baseline policy was not part of Spec.Policies; aggregators use it
 	// for normalization but do not report it as a cell.
@@ -162,8 +164,15 @@ func (j Job) Key() string {
 	if j.UseDPM {
 		dpm = "dpm"
 	}
-	return fmt.Sprintf("%s|%s|%s|r%d.s%d|%s|%gs|%s",
+	key := fmt.Sprintf("%s|%s|%s|r%d.s%d|%s|%gs|%s",
 		j.Scenario.ID(), j.Policy, j.Bench, j.Replicate, j.Seed, j.Solver, j.DurationS, dpm)
+	if j.Reliability {
+		// Reliability changes the record contents (rel_* fields), so it
+		// is part of the identity; the suffix form keeps every
+		// pre-reliability key — and thus existing checkpoints — valid.
+		key += "|rel"
+	}
+	return key
 }
 
 // Hash returns the stable FNV-1a hash of the job key used for
@@ -190,15 +199,16 @@ func (s Spec) Expand() []Job {
 					for _, solver := range s.Solvers {
 						for _, dur := range s.DurationsS {
 							jobs = append(jobs, Job{
-								Scenario:  sc,
-								Policy:    policy,
-								Bench:     bench,
-								Replicate: r,
-								Seed:      s.ReplicateSeed(r),
-								Solver:    solver,
-								DurationS: dur,
-								UseDPM:    s.UseDPM,
-								Baseline:  baseline,
+								Scenario:    sc,
+								Policy:      policy,
+								Bench:       bench,
+								Replicate:   r,
+								Seed:        s.ReplicateSeed(r),
+								Solver:      solver,
+								DurationS:   dur,
+								UseDPM:      s.UseDPM,
+								Reliability: s.Reliability,
+								Baseline:    baseline,
 							})
 						}
 					}

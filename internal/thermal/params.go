@@ -1,33 +1,3 @@
-// Package thermal implements a HotSpot-style compact thermal model for 3D
-// stacked chips: an RC network built from a floorplan stack (block mode or
-// grid mode), a package model (thermal interface material, copper
-// spreader, finned heat sink, convection to ambient), steady-state and
-// transient solvers, the TSV joint-resistivity model of the paper's
-// Figure 2, and noisy temperature sensors.
-//
-// # Solvers
-//
-// Steady-state and transient temperatures come from linear solves
-// against the sparse conductance system, which is symmetric positive
-// definite. Three paths exist, selected by SolverKind:
-//
-//   - SolverCached (default): sparse LDLᵀ factorizations shared
-//     process-wide through a cache keyed by a content hash of the
-//     conductance matrix, capacitances, and time step — i.e. by stack
-//     geometry plus thermal parameters. Sweeps running many simulations
-//     over the same stacks factor each system once and reuse it from
-//     every worker; concurrent first access factors exactly once.
-//   - SolverSparse: the same sparse factorization, computed privately.
-//   - SolverDense: the dense LU reference path (O(n³)), retained for
-//     cross-validation tests and benchmark baselines.
-//
-// No path densifies the conductance matrix except SolverDense itself.
-// See FactorCacheStats and ResetFactorCache for cache introspection.
-//
-// Internally everything is SI: metres, watts, kelvins (temperatures are
-// expressed in °C above an absolute ambient, which is equivalent for a
-// linear network). Floorplan geometry arrives in millimetres and is
-// converted during network construction.
 package thermal
 
 import "fmt"

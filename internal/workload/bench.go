@@ -1,15 +1,3 @@
-// Package workload reproduces the paper's experimental workloads
-// (Section IV-B, Table I). The authors profiled real applications on an
-// UltraSPARC T1 with mpstat/DTrace/cpustat; we substitute a seeded
-// synthetic generator that reproduces the same per-benchmark statistics:
-// average utilization, L2 instruction/data miss rates and floating-point
-// intensity (which drive the cache/crossbar power model), and a
-// burstiness class per application family (which drives thermal cycling).
-//
-// The policies under study observe only utilization, queue state and
-// temperature, so any job ensemble with matching first-order load and
-// temporal burstiness exercises the same decision paths as the original
-// traces.
 package workload
 
 import "fmt"

@@ -1,0 +1,31 @@
+// Package workload reproduces the paper's experimental workloads
+// (Section IV-B, Table I). The authors profiled real applications on
+// an UltraSPARC T1 with mpstat/DTrace/cpustat; we substitute a seeded
+// synthetic generator that reproduces the same per-benchmark
+// statistics: average utilization, L2 instruction/data miss rates and
+// floating-point intensity (which drive the cache/crossbar power
+// model), and a burstiness class per application family (which drives
+// thermal cycling).
+//
+// The policies under study observe only utilization, queue state and
+// temperature, so any job ensemble with matching first-order load and
+// temporal burstiness exercises the same decision paths as the
+// original traces.
+//
+// # Place in the dataflow
+//
+// Generate turns (Benchmark, cores, duration, seed) into a job trace;
+// the sweep runner (internal/exp) generates each trace once per
+// (scenario, benchmark, replicate) through a TraceCache and replays
+// the identical trace under every policy — the fairness invariant the
+// figure comparisons rest on. Generation is fully deterministic in the
+// seed, which is what lets sharded and resumed sweeps agree on the
+// workload without shipping traces around.
+//
+// # Concurrency
+//
+// TraceCache is safe for concurrent use (one cache serves the whole
+// worker pool) and bounds its footprint; generated traces are
+// treated as immutable by every consumer — the scheduler copies job
+// state into its own queues rather than mutating the shared slice.
+package workload
