@@ -5,12 +5,13 @@
 # regressions. Used by CI to produce BENCH_ci.json and to (re)generate
 # the committed baseline:
 #
-#   go test -run xxx -bench 'SteadyState|Transient|Sweep|Fig|RunTick|SimulatedSecond' \
-#     -benchtime 1x -benchmem -count 1 . ./internal/sim \
+#   go test -run xxx -bench 'SteadyState|Transient|Sweep|Fig|RunTick|SimulatedSecond|SolvePanel' \
+#     -benchtime 1x -benchmem -count 1 . ./internal/sim ./internal/linalg \
 #     | sh .github/bench_to_json.sh > .github/bench_baseline.json
 #
-# (./internal/sim carries BenchmarkRunTick; omitting it regenerates a
-# baseline without the allocation-free per-tick gate.)
+# (./internal/sim carries BenchmarkRunTick and ./internal/linalg
+# BenchmarkSolvePanel; omitting them regenerates a baseline without
+# the allocation-free per-tick and panel-solve gates.)
 awk '
 BEGIN { printf "{\n  \"benchmarks\": [" ; n = 0 }
 $1 ~ /^Benchmark/ && $4 == "ns/op" {

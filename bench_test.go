@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -323,6 +325,48 @@ func benchSweep(b *testing.B, kind thermal.SolverKind) {
 func BenchmarkSweepDense(b *testing.B)  { benchSweep(b, thermal.SolverDense) }
 func BenchmarkSweepSparse(b *testing.B) { benchSweep(b, thermal.SolverSparse) }
 func BenchmarkSweepCached(b *testing.B) { benchSweep(b, thermal.SolverCached) }
+
+// benchSweepPath runs the Fig3-class job list (full policy roster, two
+// stacks, two benchmarks) through sweep.Execute on the given path:
+// grouped fuses same-system runs into one panel solve per tick (the
+// production default), per-job steps every run's triangular solves
+// independently. The pair isolates what batching buys at the sweep
+// level; run with -benchmem. At this scale grouping wins — on
+// setup-dominated micro sweeps (a couple of short jobs) the two paths
+// are within noise of each other.
+func benchSweepPath(b *testing.B, grouped bool) {
+	b.Helper()
+	spec := exp.MatrixConfig{
+		Exps:       []floorplan.Experiment{floorplan.EXP1, floorplan.EXP3},
+		Benchmarks: []string{"Web-med", "Web&DB"},
+		DurationS:  benchDuration,
+		Seed:       1,
+	}.Spec()
+	jobs := spec.Expand()
+	thermal.ResetFactorCache()
+	if err := exp.Prewarm(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, runGroup := exp.NewRunners(exp.RunnerHooks{})
+		opts := sweep.Options{}
+		if grouped {
+			opts.Group = exp.GroupKey
+			opts.RunGroup = runGroup
+		}
+		col := &sweep.Collector{}
+		if _, err := sweep.Execute(context.Background(), jobs, run, opts, col); err != nil {
+			b.Fatal(err)
+		}
+		if len(col.Records) != len(jobs) {
+			b.Fatalf("streamed %d records, want %d", len(col.Records), len(jobs))
+		}
+	}
+}
+
+func BenchmarkSweepGrouped(b *testing.B) { benchSweepPath(b, true) }
+func BenchmarkSweepPerJob(b *testing.B)  { benchSweepPath(b, false) }
 
 // BenchmarkSimulatedSecond measures full simulator throughput: one
 // simulated second (10 ticks) of EXP-3 under Adapt3D per iteration.

@@ -459,7 +459,13 @@ func sweepMode(f sweepFlags) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "dtmsweep: %d jobs in sweep, %d in this shard, %d to run\n",
 		total, len(jobs), len(jobs)-countSkipped(jobs, opts.Skip))
-	n, err := sweep.Execute(ctx, jobs, exp.NewRunner(), opts, sinks...)
+	// Batch same-system jobs through one panel solve per tick; record
+	// contents and job keys are identical to the per-job path, so
+	// checkpoints and canonical streams are unaffected.
+	run, runGroup := exp.NewRunners(exp.RunnerHooks{})
+	opts.Group = exp.GroupKey
+	opts.RunGroup = runGroup
+	n, err := sweep.Execute(ctx, jobs, run, opts, sinks...)
 	fmt.Fprintf(os.Stderr, "dtmsweep: %d runs in %.1fs\n", n, time.Since(start).Seconds())
 	return err
 }

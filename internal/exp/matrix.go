@@ -166,7 +166,9 @@ func RunContext(ctx context.Context, cfg MatrixConfig) (*Matrix, error) {
 		return nil, err
 	}
 	col := &sweep.Collector{}
-	if _, err := sweep.Execute(ctx, spec.Expand(), NewRunner(), sweep.Options{}, col); err != nil {
+	run, runGroup := NewRunners(RunnerHooks{})
+	opts := sweep.Options{Group: GroupKey, RunGroup: runGroup}
+	if _, err := sweep.Execute(ctx, spec.Expand(), run, opts, col); err != nil {
 		return nil, err
 	}
 	return cfg.Aggregate(col.Records)

@@ -67,15 +67,27 @@ func NewRunner() sweep.RunFunc {
 // NewRunnerWithHooks is NewRunner with progress hooks attached to every
 // simulation the runner executes.
 func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
+	run, _ := NewRunners(hooks)
+	return run
+}
+
+// NewRunners returns the per-job runner together with its batched
+// counterpart. Both closures share one trace cache, so a job produces
+// the identical workload trace whichever path executes it. The batched
+// runner drives same-system jobs through sim.RunBatch — one panel solve
+// per tick over the shared factorization — and returns records
+// byte-identical to the per-job path's; pair it with GroupKey in
+// sweep.Options.
+func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 	var onTick func(int)
 	if hooks.OnTick != nil {
 		onTick = func(int) { hooks.OnTick() }
 	}
 	traces := workload.NewTraceCache()
-	return func(ctx context.Context, j sweep.Job) (sweep.Record, error) {
+	cfgFor := func(ctx context.Context, j sweep.Job) (sim.Config, error) {
 		b, err := workload.ByName(j.Bench)
 		if err != nil {
-			return sweep.Record{}, err
+			return sim.Config{}, err
 		}
 		sc := j.Scenario
 		// Build the policy-construction stack with the scenario's
@@ -90,7 +102,7 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 		}
 		stack, err := floorplan.BuildWithResistivity(sc.Exp, jr)
 		if err != nil {
-			return sweep.Record{}, err
+			return sim.Config{}, err
 		}
 		jobs, err := traces.Get(workload.GenConfig{
 			Bench:     b,
@@ -99,13 +111,13 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 			Seed:      j.Seed + int64(b.ID),
 		})
 		if err != nil {
-			return sweep.Record{}, err
+			return sim.Config{}, err
 		}
 		pol, err := BuildPolicyWith(j.Policy, stack, j.Seed, j.Solver)
 		if err != nil {
-			return sweep.Record{}, err
+			return sim.Config{}, err
 		}
-		res, err := sim.Run(sim.Config{
+		return sim.Config{
 			Exp:                 sc.Exp,
 			JointResistivityMKW: sc.JointResistivityMKW,
 			GridRows:            sc.GridRows,
@@ -119,12 +131,55 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 			TrackLifetime:       j.Reliability,
 			Ctx:                 ctx,
 			OnTick:              onTick,
-		})
+		}, nil
+	}
+	run := func(ctx context.Context, j sweep.Job) (sweep.Record, error) {
+		cfg, err := cfgFor(ctx, j)
+		if err != nil {
+			return sweep.Record{}, err
+		}
+		res, err := sim.Run(cfg)
 		if err != nil {
 			return sweep.Record{}, err
 		}
 		return sweep.NewRecord(j, res, 0), nil
 	}
+	runGroup := func(ctx context.Context, group []sweep.Job) ([]sweep.Record, error) {
+		cfgs := make([]sim.Config, len(group))
+		for i, j := range group {
+			cfg, err := cfgFor(ctx, j)
+			if err != nil {
+				return nil, err
+			}
+			cfgs[i] = cfg
+		}
+		results, err := sim.RunBatch(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]sweep.Record, len(group))
+		for i, j := range group {
+			recs[i] = sweep.NewRecord(j, results[i], 0)
+		}
+		return recs, nil
+	}
+	return run, runGroup
+}
+
+// GroupKey is the exp-standard sweep grouping key: jobs mapping to the
+// same non-empty key build the identical thermal system — same stack
+// geometry, interlayer physics, and duration, on the shared-cache
+// solver path — so their transient factorizations are one *Cholesky
+// and sim.RunBatch can advance them through a single panel solve per
+// tick. Policy, benchmark, seed, replicate, DPM, and reliability
+// tracking are deliberately absent: they vary freely across the lanes
+// of a batch without affecting the factorization. Non-cached solver
+// jobs return "" and stay on the per-job path.
+func GroupKey(j sweep.Job) string {
+	if j.Solver != thermal.SolverCached {
+		return ""
+	}
+	return fmt.Sprintf("%s|%s|%gs", j.Scenario.ID(), j.Solver, j.DurationS)
 }
 
 // Prewarm factors every cached-solver scenario's thermal systems into

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 )
 
 // resumeConfig is a small but non-trivial sweep: two stacks, two
@@ -210,5 +211,75 @@ func TestSweepRecordsFullTickCount(t *testing.T) {
 		if r.Ticks != 3 {
 			t.Errorf("record %s ran %d ticks, want 3 (0.3 s at 100 ms)", r.Key, r.Ticks)
 		}
+	}
+}
+
+// TestGroupedSweepRecordsByteIdentical is the whole-pipeline batching
+// contract: running a sweep through the grouped (panel-solve) path must
+// stream records identical — after stripping the wall-clock field — to
+// the per-job path's, per job key. Aggregate equality follows, but the
+// record-level check is the stronger pin: checkpoints, shards, and
+// canonical streams all serialize these records.
+func TestGroupedSweepRecordsByteIdentical(t *testing.T) {
+	cfg := resumeConfig()
+	spec := cfg.Spec()
+	jobs := spec.Expand()
+	if err := Prewarm(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	perJob := &sweep.Collector{}
+	run, _ := NewRunners(RunnerHooks{})
+	if _, err := sweep.Execute(context.Background(), jobs, run, sweep.Options{Workers: 2}, perJob); err != nil {
+		t.Fatal(err)
+	}
+
+	grouped := &sweep.Collector{}
+	run2, runGroup := NewRunners(RunnerHooks{})
+	opts := sweep.Options{Workers: 2, Group: GroupKey, RunGroup: runGroup, MaxGroup: 4}
+	if _, err := sweep.Execute(context.Background(), jobs, run2, opts, grouped); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(grouped.Records) != len(perJob.Records) {
+		t.Fatalf("grouped path streamed %d records, per-job %d", len(grouped.Records), len(perJob.Records))
+	}
+	byKey := func(recs []sweep.Record) map[string]sweep.Record {
+		m := make(map[string]sweep.Record, len(recs))
+		for _, r := range recs {
+			r.ElapsedMS = 0
+			m[r.Key] = r
+		}
+		return m
+	}
+	want, got := byKey(perJob.Records), byKey(grouped.Records)
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("grouped path missing record %q", k)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("record %q differs between grouped and per-job paths\n got %+v\nwant %+v", k, g, w)
+		}
+	}
+}
+
+// TestGroupKey pins the batching key's scope: same thermal system and
+// duration batch together across policies, benchmarks, seeds, and
+// reliability; different scenarios or durations do not; non-cached
+// solvers opt out entirely.
+func TestGroupKey(t *testing.T) {
+	jobs := resumeConfig().Spec().Expand()
+	base := jobs[0]
+	for _, j := range jobs[1:] {
+		same := j.Scenario.ID() == base.Scenario.ID() && j.DurationS == base.DurationS && j.Solver == base.Solver
+		if got := GroupKey(j) == GroupKey(base); got != same {
+			t.Errorf("GroupKey(%s) vs GroupKey(%s): equal=%v, want %v", j.Key(), base.Key(), got, same)
+		}
+	}
+	dense := base
+	dense.Solver = thermal.SolverDense
+	if GroupKey(dense) != "" {
+		t.Errorf("dense-solver job got grouping key %q, want none", GroupKey(dense))
 	}
 }

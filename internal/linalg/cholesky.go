@@ -221,22 +221,151 @@ func (f *Cholesky) SolveBuffered(x, b, scratch []float64) error {
 	return nil
 }
 
-// SolveMulti solves A*X = B column by column, overwriting each B column
-// with its solution. All columns share one scratch allocation, which is
-// what the multi-RHS steady-state sweeps want.
-func (f *Cholesky) SolveMulti(cols [][]float64) error {
+// SolvePanel solves A·X = B for a blocked panel of k right-hand sides
+// in one pass over the factors. dst and rhs are column-major n×k panels
+// (column l occupies [l*n : (l+1)*n]); they may alias each other.
+// scratch is caller-owned, must have length n*k, and must not alias dst
+// or rhs. SolvePanel performs no allocations.
+//
+// The panel is gathered into a lane-interleaved layout (the k lane
+// values of each node adjacent in memory), so the forward, diagonal,
+// and backward sweeps traverse L's sparsity pattern once for all k
+// right-hand sides with unit-stride inner loops over the lanes —
+// cache- and SIMD-friendly where the per-column path re-walks L per
+// RHS. Per lane, the arithmetic is the exact operation sequence of
+// SolveBuffered, so each solution column is bitwise identical to a
+// single-RHS solve of that column (the property the batched transient
+// integrator's byte-identity contract rests on). Like SolveBuffered it
+// is safe for concurrent use as long as each goroutine owns its panels
+// and scratch.
+func (f *Cholesky) SolvePanel(dst, rhs []float64, k int, scratch []float64) error {
 	n := f.n
-	w := make([]float64, n)
+	if k <= 0 {
+		return fmt.Errorf("linalg: Cholesky.SolvePanel needs a positive lane count, got %d", k)
+	}
+	if len(dst) != n*k || len(rhs) != n*k || len(scratch) != n*k {
+		return fmt.Errorf("linalg: Cholesky.SolvePanel dimension mismatch: n=%d k=%d len(dst)=%d len(rhs)=%d len(scratch)=%d",
+			n, k, len(dst), len(rhs), len(scratch))
+	}
+	if k == 1 {
+		// One lane is exactly a buffered single solve; skip the
+		// interleaving bookkeeping.
+		return f.SolveBuffered(dst, rhs, scratch)
+	}
+	// Gather: lane l of permuted row i at scratch[i*k+l].
+	for kn, old := range f.perm {
+		base := kn * k
+		for l := 0; l < k; l++ {
+			scratch[base+l] = rhs[l*n+old]
+		}
+	}
+	f.solvePanelScratch(scratch, k)
+	// Scatter back to the column-major panel in original ordering.
+	for kn, old := range f.perm {
+		base := kn * k
+		for l := 0; l < k; l++ {
+			dst[l*n+old] = scratch[base+l]
+		}
+	}
+	return nil
+}
+
+// SolveMultiBuffered is SolveMulti with caller-provided scratch of
+// length n*len(cols), making repeated multi-RHS solves allocation-free.
+// The columns are solved as one lane-interleaved panel (one traversal
+// of L for all of them), with per-column results bitwise identical to
+// SolveBuffered. scratch must not alias any column.
+func (f *Cholesky) SolveMultiBuffered(cols [][]float64, scratch []float64) error {
+	n, k := f.n, len(cols)
+	if k == 0 {
+		return nil
+	}
+	if len(scratch) != n*k {
+		return fmt.Errorf("linalg: Cholesky.SolveMultiBuffered scratch has length %d, want n*k = %d", len(scratch), n*k)
+	}
 	for ci, b := range cols {
 		if len(b) != n {
 			return fmt.Errorf("linalg: Cholesky.SolveMulti column %d has length %d, want %d", ci, len(b), n)
 		}
-		f.solveScratch(w, b)
-		for k, old := range f.perm {
-			b[old] = w[k]
+	}
+	if k == 1 {
+		return f.SolveBuffered(cols[0], cols[0], scratch)
+	}
+	for kn, old := range f.perm {
+		base := kn * k
+		for l := 0; l < k; l++ {
+			scratch[base+l] = cols[l][old]
+		}
+	}
+	f.solvePanelScratch(scratch, k)
+	for kn, old := range f.perm {
+		base := kn * k
+		for l := 0; l < k; l++ {
+			cols[l][old] = scratch[base+l]
 		}
 	}
 	return nil
+}
+
+// SolveMulti solves A*X = B column by column, overwriting each B column
+// with its solution. It is the allocating compatibility shim over the
+// panel path: the columns advance through one blocked traversal of L
+// (see SolvePanel) instead of one triangular sweep each; hot loops
+// should hold the n*k scratch themselves and call SolveMultiBuffered.
+func (f *Cholesky) SolveMulti(cols [][]float64) error {
+	return f.SolveMultiBuffered(cols, make([]float64, f.n*len(cols)))
+}
+
+// solvePanelScratch runs the permuted forward/diagonal/backward sweeps
+// in place on a lane-interleaved panel w (lane l of permuted row i at
+// w[i*k+l]). Per lane it performs the exact operation sequence of
+// solveScratch — including the skip of zero pivot values in the forward
+// sweep, which matters for bitwise identity when signed zeros are in
+// play — so lane results match single-RHS solves bit for bit.
+func (f *Cholesky) solvePanelScratch(w []float64, k int) {
+	n := f.n
+	// L W = B' (unit lower triangular, CSC forward sweep). Column j's
+	// lane values wj are loop-invariant across its updates (rowIdx > j
+	// strictly below the unit diagonal), so the full-capacity subslice
+	// is taken once per column; the per-lane zero skip mirrors the
+	// scalar path's — beyond saving a multiply, skipping preserves the
+	// sign of a -0.0 target that x -= v*0 would flip.
+	for j := 0; j < n; j++ {
+		bj := j * k
+		wj := w[bj : bj+k : bj+k]
+		for p := f.colPtr[j]; p < f.colPtr[j+1]; p++ {
+			base := f.rowIdx[p] * k
+			v := f.val[p]
+			wr := w[base : base+k : base+k]
+			for l, x := range wj {
+				if x != 0 {
+					wr[l] -= v * x
+				}
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		d := f.d[j]
+		bj := j * k
+		wj := w[bj : bj+k : bj+k]
+		for l := range wj {
+			wj[l] /= d
+		}
+	}
+	// Lᵀ W = W (CSC backward sweep): column j's lanes accumulate from
+	// already-solved rows below, so wj is the update target here.
+	for j := n - 1; j >= 0; j-- {
+		bj := j * k
+		wj := w[bj : bj+k : bj+k]
+		for p := f.colPtr[j]; p < f.colPtr[j+1]; p++ {
+			base := f.rowIdx[p] * k
+			v := f.val[p]
+			wr := w[base : base+k : base+k]
+			for l := range wj {
+				wj[l] -= v * wr[l]
+			}
+		}
+	}
 }
 
 // solveScratch performs the permuted forward/diagonal/backward solve,

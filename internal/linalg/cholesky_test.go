@@ -310,3 +310,171 @@ func gridLaplacian(rows, cols int) *Sparse {
 	sb.StampGroundConductance(id(rows-1, cols-1), 1)
 	return sb.Build()
 }
+
+// TestCholeskySolvePanel pins the batched panel solve to the scalar
+// buffered path bit for bit: for every lane, SolvePanel must produce
+// exactly the floats SolveBuffered produces on that lane's column —
+// including on the minimum-degree grid ordering — because the sweep
+// batching layer promises byte-identical per-job records.
+func TestCholeskySolvePanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	systems := map[string]*Sparse{
+		"rcm-block":   randSPDSystem(rng, 30, 25), // n < 200: RCM ordering
+		"mindeg-grid": gridLaplacian(16, 16),      // n >= 200: minimum degree
+	}
+	for name, s := range systems {
+		t.Run(name, func(t *testing.T) {
+			f, err := FactorCholesky(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := s.N
+			for _, k := range []int{1, 2, 5, 8} {
+				rhs := make([]float64, n*k)
+				for i := range rhs {
+					rhs[i] = rng.NormFloat64()
+				}
+				want := make([]float64, n*k)
+				scratch := make([]float64, n*k)
+				for l := 0; l < k; l++ {
+					if err := f.SolveBuffered(want[l*n:(l+1)*n], rhs[l*n:(l+1)*n], scratch[:n]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				dst := make([]float64, n*k)
+				if err := f.SolvePanel(dst, rhs, k, scratch); err != nil {
+					t.Fatal(err)
+				}
+				for i := range dst {
+					if dst[i] != want[i] {
+						t.Fatalf("k=%d: panel[%d]=%g, buffered=%g", k, i, dst[i], want[i])
+					}
+				}
+				// In-place: dst aliasing rhs must give the same answer.
+				inPlace := append([]float64(nil), rhs...)
+				if err := f.SolvePanel(inPlace, inPlace, k, scratch); err != nil {
+					t.Fatal(err)
+				}
+				for i := range inPlace {
+					if inPlace[i] != want[i] {
+						t.Fatalf("k=%d aliased: panel[%d]=%g, buffered=%g", k, i, inPlace[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCholeskySolvePanelValidation covers the panel contract errors.
+func TestCholeskySolvePanelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSPDSystem(rng, 10, 8)
+	f, err := FactorCholesky(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 10*2)
+	if err := f.SolvePanel(buf, buf, 0, buf); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if err := f.SolvePanel(buf[:10], buf, 2, buf); err == nil {
+		t.Fatal("expected error for short dst")
+	}
+	if err := f.SolvePanel(buf, buf, 2, buf[:10]); err == nil {
+		t.Fatal("expected error for short scratch")
+	}
+}
+
+// TestCholeskySolveMultiMatchesBuffered extends the SolveMulti pin: the
+// compat shim must agree bitwise with repeated SolveBuffered calls, and
+// the buffered variants must not allocate — SolveMulti's historical
+// per-call scratch make() was a leak in the tick path.
+func TestCholeskySolveMultiMatchesBuffered(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, k = 40, 3
+	s := randSPDSystem(rng, n, 30)
+	f, err := FactorCholesky(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([][]float64, k)
+	want := make([][]float64, k)
+	scratch := make([]float64, n*k)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		want[c] = make([]float64, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.NormFloat64()
+		}
+		if err := f.SolveBuffered(want[c], cols[c], scratch[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SolveMultiBuffered(cols, scratch); err != nil {
+		t.Fatal(err)
+	}
+	for c := range cols {
+		for i := range cols[c] {
+			if cols[c][i] != want[c][i] {
+				t.Fatalf("column %d row %d: multi %g buffered %g", c, i, cols[c][i], want[c][i])
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.SolveMultiBuffered(cols, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveMultiBuffered allocates %.1f per call, want 0", allocs)
+	}
+	panel := make([]float64, n*k)
+	allocs = testing.AllocsPerRun(50, func() {
+		if err := f.SolvePanel(panel, panel, k, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolvePanel allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// BenchmarkSolvePanel measures the blocked k-lane solve against k
+// sequential buffered solves on the grid-ordering factorization the
+// sweep batch path exercises. Run with -benchmem: both must report
+// zero allocations.
+func BenchmarkSolvePanel(b *testing.B) {
+	s := gridLaplacian(32, 32)
+	f, err := FactorCholesky(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := s.N
+	const k = 8
+	rhs := make([]float64, n*k)
+	for i := range rhs {
+		rhs[i] = float64(i%11) - 5
+	}
+	b.Run("panel8", func(b *testing.B) {
+		dst := make([]float64, n*k)
+		scratch := make([]float64, n*k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.SolvePanel(dst, rhs, k, scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential8", func(b *testing.B) {
+		dst := make([]float64, n*k)
+		scratch := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l := 0; l < k; l++ {
+				if err := f.SolveBuffered(dst[l*n:(l+1)*n], rhs[l*n:(l+1)*n], scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

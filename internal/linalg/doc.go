@@ -19,6 +19,19 @@
 //     reference path, kept for cross-validation tests, benchmark
 //     baselines, and matrices with no exploitable sparsity.
 //
+// # Panel (multi-RHS) solves
+//
+// Cholesky.SolvePanel solves k right-hand sides through one blocked
+// traversal of the triangular factors: the column-major n×k panel is
+// gathered into a lane-interleaved working layout so the forward,
+// diagonal, and backward sweeps walk L's sparsity pattern once with
+// unit-stride inner loops over the k lanes. Per lane the floating-
+// point operation sequence is exactly SolveBuffered's, so panel
+// results are bitwise identical to k scalar solves — the contract the
+// batched transient stepping in internal/thermal builds on.
+// SolveMultiBuffered adapts scattered column slices onto the same
+// kernel; SolveMulti remains as an allocating convenience shim.
+//
 // # Buffer ownership and concurrency
 //
 // The package is deliberately small and allocation-conscious: thermal
@@ -27,5 +40,7 @@
 // methods) write into caller-owned slices and allocate nothing. A
 // completed factorization is immutable and safe to share across
 // goroutines (the thermal factorization cache does exactly that);
-// factoring itself is not synchronized.
+// factoring itself is not synchronized. SolvePanel's dst and rhs may
+// alias each other; the scratch buffer (length n·k) is caller-owned
+// and clobbered, never retained.
 package linalg

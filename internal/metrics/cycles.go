@@ -11,17 +11,75 @@ import (
 // metric is the percentage of samples where that average exceeds the
 // threshold (20 °C in Figure 6 — the JEDEC data in [13] shows failures
 // become 16x more frequent when ΔT grows from 10 to 20 °C).
+//
+// The window extrema come from per-core monotonic deques, so Record
+// costs amortized O(1) per core per tick instead of rescanning the
+// whole window — this meter runs inside the simulator's per-tick hot
+// loop, where the O(cores × window) scan used to dominate sweep cost.
+// The reported extrema are the exact window min/max, so every derived
+// metric is bit-identical to the scanning implementation's.
 type CycleMeter struct {
 	DeltaThresholdC float64
 	WindowTicks     int
 
-	ring    [][]float64 // per core
-	pos     int
-	fill    int
+	cores int
+	tick  int // samples recorded so far
+
+	maxT []wedge // per-core window maxima candidates
+	minT []wedge // per-core window minima candidates
+
 	samples int
 	above   int
 	sumAvg  float64
 }
+
+// wedge is a fixed-capacity monotonic deque over (sample index, value)
+// pairs: values decay monotonically from front to back, the front is
+// the window extremum, and entries expire from the front once they
+// leave the window. Capacity equals the window length, which bounds the
+// live entries, so pushes never allocate.
+type wedge struct {
+	val  []float64
+	idx  []int
+	head int // ring position of the front entry
+	size int
+}
+
+// push expires entries outside the window ending at sample s, drops
+// dominated entries from the back, and appends (s, t). keepMax selects
+// the max-deque order (back values <= t are dominated); otherwise the
+// min-deque order.
+func (w *wedge) push(s, window int, t float64, keepMax bool) {
+	cap := len(w.val)
+	for w.size > 0 && w.idx[w.head] <= s-window {
+		w.head++
+		if w.head == cap {
+			w.head = 0
+		}
+		w.size--
+	}
+	for w.size > 0 {
+		back := w.head + w.size - 1
+		if back >= cap {
+			back -= cap
+		}
+		if v := w.val[back]; (keepMax && v <= t) || (!keepMax && v >= t) {
+			w.size--
+		} else {
+			break
+		}
+	}
+	pos := w.head + w.size
+	if pos >= cap {
+		pos -= cap
+	}
+	w.val[pos] = t
+	w.idx[pos] = s
+	w.size++
+}
+
+// front returns the current window extremum.
+func (w *wedge) front() float64 { return w.val[w.head] }
 
 // NewCycleMeter builds a meter with the given sliding window length in
 // sampling ticks.
@@ -32,37 +90,36 @@ func NewCycleMeter(numCores, windowTicks int, deltaThresholdC float64) (*CycleMe
 	m := &CycleMeter{
 		DeltaThresholdC: deltaThresholdC,
 		WindowTicks:     windowTicks,
-		ring:            make([][]float64, numCores),
+		cores:           numCores,
+		maxT:            make([]wedge, numCores),
+		minT:            make([]wedge, numCores),
 	}
-	for c := range m.ring {
-		m.ring[c] = make([]float64, windowTicks)
+	for c := 0; c < numCores; c++ {
+		m.maxT[c] = wedge{val: make([]float64, windowTicks), idx: make([]int, windowTicks)}
+		m.minT[c] = wedge{val: make([]float64, windowTicks), idx: make([]int, windowTicks)}
 	}
 	return m, nil
 }
 
 // Record adds one sample of per-core temperatures.
 func (m *CycleMeter) Record(coreTempsC []float64) error {
-	if len(coreTempsC) != len(m.ring) {
-		return fmt.Errorf("metrics: cycle meter got %d temps for %d cores", len(coreTempsC), len(m.ring))
+	if len(coreTempsC) != m.cores {
+		return fmt.Errorf("metrics: cycle meter got %d temps for %d cores", len(coreTempsC), m.cores)
 	}
+	m.tick++
+	w := m.WindowTicks
 	for c, t := range coreTempsC {
-		m.ring[c][m.pos] = t
+		m.maxT[c].push(m.tick, w, t, true)
+		m.minT[c].push(m.tick, w, t, false)
 	}
-	m.pos = (m.pos + 1) % m.WindowTicks
-	if m.fill < m.WindowTicks {
-		m.fill++
+	if m.tick <= w {
 		return nil // wait for a full window before judging cycles
 	}
 	avg := 0.0
-	for c := range m.ring {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, t := range m.ring[c] {
-			lo = math.Min(lo, t)
-			hi = math.Max(hi, t)
-		}
-		avg += hi - lo
+	for c := 0; c < m.cores; c++ {
+		avg += m.maxT[c].front() - m.minT[c].front()
 	}
-	avg /= float64(len(m.ring))
+	avg /= float64(m.cores)
 	m.samples++
 	m.sumAvg += avg
 	if avg > m.DeltaThresholdC {

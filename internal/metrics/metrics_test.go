@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/floorplan"
@@ -268,5 +269,65 @@ func TestNormalizedPerformance(t *testing.T) {
 	}
 	if DelayPct(0, 1) != 0 {
 		t.Error("zero base should return 0")
+	}
+}
+
+// TestCycleMeterMatchesNaiveScan cross-validates the monotonic-deque
+// window extrema against a brute-force rescan of the trailing window on
+// randomized multi-core traces. The deque rewrite is a hot-loop
+// optimization; its Pct and MeanDeltaC must stay bit-identical to the
+// scanning implementation's.
+func TestCycleMeterMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const cores, window, ticks = 4, 50, 400
+	m, err := NewCycleMeter(cores, window, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([][]float64, 0, ticks)
+	var samples, above int
+	var sumAvg float64
+	for s := 0; s < ticks; s++ {
+		temps := make([]float64, cores)
+		for c := range temps {
+			temps[c] = 60 + 25*rng.Float64()
+		}
+		hist = append(hist, temps)
+		if err := m.Record(temps); err != nil {
+			t.Fatal(err)
+		}
+		if s+1 <= window {
+			continue
+		}
+		// Naive reference: rescan the trailing window per core, summing
+		// in core order exactly as Record does.
+		avg := 0.0
+		for c := 0; c < cores; c++ {
+			mx, mn := math.Inf(-1), math.Inf(1)
+			for w := s - window + 1; w <= s; w++ {
+				v := hist[w][c]
+				if v > mx {
+					mx = v
+				}
+				if v < mn {
+					mn = v
+				}
+			}
+			avg += mx - mn
+		}
+		avg /= cores
+		samples++
+		sumAvg += avg
+		if avg > 20 {
+			above++
+		}
+	}
+	wantPct := 100 * float64(above) / float64(samples)
+	if m.Pct() != wantPct {
+		t.Errorf("Pct = %g, naive scan gives %g", m.Pct(), wantPct)
+	}
+	wantMean := sumAvg / float64(samples)
+	if m.MeanDeltaC() != wantMean {
+		t.Errorf("MeanDeltaC = %g, naive scan gives %g", m.MeanDeltaC(), wantMean)
 	}
 }

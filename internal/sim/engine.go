@@ -416,8 +416,26 @@ func (e *engine) run() (res *Result, err error) {
 
 // tick advances the simulation by one sampling interval. In steady state
 // (no arriving or completing jobs, no trace writer) it performs no heap
-// allocations.
+// allocations. It is the sequential composition of tickPre (scheduling
+// and power), the thermal step, and tickPost (readback, metrics,
+// hooks); the batched driver runs the same three phases with the
+// thermal steps of K co-scheduled runs fused into one panel solve.
 func (e *engine) tick(tick int) error {
+	if err := e.tickPre(tick); err != nil {
+		return err
+	}
+	if err := e.tr.StepInto(e.nodeTemps, e.blockPower); err != nil {
+		return err
+	}
+	return e.tickPost(tick)
+}
+
+// tickPre runs the pre-thermal phases of one sampling interval:
+// cancellation check, job dispatch, policy decisions, DPM, workload
+// execution, and the leakage-aware power computation, leaving the
+// interval's per-block power in e.blockPower ready for the thermal
+// step.
+func (e *engine) tickPre(tick int) error {
 	cfg := &e.cfg
 	select {
 	case <-e.done:
@@ -535,11 +553,19 @@ func (e *engine) tick(tick int) error {
 	if err := e.energy.Accumulate(e.stack, e.blockPower, cfg.TickS); err != nil {
 		return err
 	}
+	return nil
+}
 
-	// 6. Advance the thermal network and read the sensors.
-	if err := e.tr.StepInto(e.nodeTemps, e.blockPower); err != nil {
-		return err
-	}
+// tickPost runs the post-thermal phases of one sampling interval: block
+// and core temperature readback, sensing, metrics, reliability
+// tracking, hooks, and tracing. The caller must have advanced the
+// thermal network into e.nodeTemps (Transient.StepInto on the
+// sequential path, TransientBatch.StepInto on the batched one).
+func (e *engine) tickPost(tick int) error {
+	cfg := &e.cfg
+	now := float64(tick) * cfg.TickS
+
+	// 6. Read back the advanced thermal state and the sensors.
 	if err := e.model.BlockTempsInto(e.blockTemps, e.nodeTemps); err != nil {
 		return err
 	}

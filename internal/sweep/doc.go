@@ -33,6 +33,17 @@
 // remote servers merge by simple concatenation (exp.Aggregate dedups
 // and verifies completeness).
 //
+// # Grouped (batched) execution
+//
+// Options.Group maps jobs to batching keys and Options.RunGroup runs
+// a chunk of same-key jobs as one unit — exp pairs them so jobs over
+// the same thermal system advance through one panel solve per tick
+// (sim.RunBatch). Grouping is pure scheduling: job keys, record
+// contents, and the wire format are unchanged, records still stream
+// in completion order, skipped (checkpointed) jobs leave their chunk
+// before grouping, and a group runner must return records identical
+// to the per-job path's — a contract the exp tests pin bit for bit.
+//
 // # Concurrency
 //
 // Execute serializes all Sink.Put calls under one mutex — sinks need

@@ -13,15 +13,97 @@ import (
 // concurrent calls; the exp package supplies the simulator-backed one.
 type RunFunc func(ctx context.Context, j Job) (Record, error)
 
+// RunGroupFunc executes a batch of jobs that share a grouping key as
+// one unit of work, returning one record per job in the same order.
+// Implementations must be safe for concurrent calls and must produce
+// records identical to running each job through the RunFunc alone —
+// batching is a throughput optimization, never a semantic change.
+type RunGroupFunc func(ctx context.Context, jobs []Job) ([]Record, error)
+
+// DefaultMaxGroup caps how many jobs a grouped dispatch fuses into one
+// batched run when Options.MaxGroup is zero. The cap keeps enough
+// independent chunks in flight to fill the worker pool while still
+// amortizing the shared per-tick work across a full panel.
+const DefaultMaxGroup = 16
+
 // Options tunes Execute.
 type Options struct {
-	// Workers bounds the pool (0: NumCPU, clamped to the job count).
+	// Workers bounds the pool (0: NumCPU, clamped to the number of
+	// dispatch units — jobs, or chunks when grouping is active).
 	Workers int
 	// Skip holds job keys to treat as already complete (typically
 	// CompletedKeys of a loaded checkpoint). Skipped jobs are not run
 	// and not re-emitted; merge the checkpoint's records with the new
 	// ones before aggregating.
 	Skip map[string]bool
+	// Group maps a job to a batching key. Jobs sharing a non-empty key
+	// are dispatched together (in chunks of at most MaxGroup) through
+	// RunGroup; an empty key — or a nil Group or RunGroup — leaves the
+	// job on the per-job RunFunc path. Grouping changes only which
+	// worker a job runs on and how runs are fused; job keys, record
+	// contents, and the wire format are untouched.
+	Group func(Job) string
+	// RunGroup executes one chunk of same-key jobs; required whenever
+	// Group is set (singleton chunks still use the RunFunc).
+	RunGroup RunGroupFunc
+	// MaxGroup caps the chunk size (0: DefaultMaxGroup).
+	MaxGroup int
+}
+
+// chunkJobs partitions the jobs into dispatch units. Jobs with the same
+// non-empty group key are gathered — in sweep expansion order — into
+// chunks of at most maxGroup, placed at the position of the key's first
+// occurrence; ungrouped jobs stay singleton chunks in place. The
+// partition is deterministic for a given job list.
+func chunkJobs(todo []Job, group func(Job) string, maxGroup int) [][]Job {
+	if group == nil {
+		chunks := make([][]Job, len(todo))
+		for i := range todo {
+			chunks[i] = todo[i : i+1]
+		}
+		return chunks
+	}
+	if maxGroup <= 0 {
+		maxGroup = DefaultMaxGroup
+	}
+	byKey := make(map[string][]Job)
+	order := make([]string, 0)
+	var chunks [][]Job
+	for _, j := range todo {
+		k := group(j)
+		if k == "" {
+			chunks = append(chunks, []Job{j})
+			continue
+		}
+		if _, seen := byKey[k]; !seen {
+			order = append(order, k)
+			// Reserve the first-occurrence position; filled below once
+			// the whole key's membership is known.
+			chunks = append(chunks, nil)
+		}
+		byKey[k] = append(byKey[k], j)
+	}
+	// Replace each key's placeholder with its chunks (first chunk plus
+	// any overflow), preserving first-seen key order.
+	out := make([][]Job, 0, len(chunks))
+	ki := 0
+	for _, c := range chunks {
+		if c != nil {
+			out = append(out, c)
+			continue
+		}
+		js := byKey[order[ki]]
+		ki++
+		for len(js) > 0 {
+			m := maxGroup
+			if m > len(js) {
+				m = len(js)
+			}
+			out = append(out, js[:m])
+			js = js[m:]
+		}
+	}
+	return out
 }
 
 // Execute runs the jobs on a bounded worker pool, streaming each
@@ -41,13 +123,18 @@ func Execute(ctx context.Context, jobs []Job, run RunFunc, opts Options, sinks .
 			todo = append(todo, j)
 		}
 	}
+	group := opts.Group
+	if opts.RunGroup == nil {
+		group = nil // grouping requires a batched runner
+	}
+	chunks := chunkJobs(todo, group, opts.MaxGroup)
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(todo) {
-		workers = len(todo)
+	if workers > len(chunks) {
+		workers = len(chunks)
 	}
 	if workers < 1 {
 		workers = 1
@@ -87,33 +174,58 @@ func Execute(ctx context.Context, jobs []Job, run RunFunc, opts Options, sinks .
 		executed++
 	}
 
-	next := make(chan Job)
+	next := make(chan []Job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range next {
+			for chunk := range next {
 				start := time.Now()
-				rec, err := run(ctx, j)
-				if err != nil {
-					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-						// A run interrupted by cancellation is not a
-						// failure; the final ctx.Err() reports it.
+				if len(chunk) == 1 {
+					j := chunk[0]
+					rec, err := run(ctx, j)
+					if err != nil {
+						if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+							// A run interrupted by cancellation is not a
+							// failure; the final ctx.Err() reports it.
+							continue
+						}
+						fail(fmt.Errorf("sweep: job %s: %w", j.Key(), err))
 						continue
 					}
-					fail(fmt.Errorf("sweep: job %s: %w", j.Key(), err))
+					rec.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+					emit(rec)
 					continue
 				}
-				rec.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-				emit(rec)
+				recs, err := opts.RunGroup(ctx, chunk)
+				if err != nil {
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						continue
+					}
+					fail(fmt.Errorf("sweep: group of %d jobs (%s, ...): %w", len(chunk), chunk[0].Key(), err))
+					continue
+				}
+				if len(recs) != len(chunk) {
+					fail(fmt.Errorf("sweep: group runner returned %d records for %d jobs (%s, ...)",
+						len(recs), len(chunk), chunk[0].Key()))
+					continue
+				}
+				// Attribute the chunk's wall time evenly; the fused runs
+				// are not separable, and canonical streams strip elapsed
+				// time anyway.
+				perJob := float64(time.Since(start)) / float64(time.Millisecond) / float64(len(chunk))
+				for _, rec := range recs {
+					rec.ElapsedMS = perJob
+					emit(rec)
+				}
 			}
 		}()
 	}
 dispatch:
-	for _, j := range todo {
+	for _, c := range chunks {
 		select {
-		case next <- j:
+		case next <- c:
 		case <-ctx.Done():
 			break dispatch
 		}

@@ -24,6 +24,22 @@
 // No path densifies the conductance matrix except SolverDense itself.
 // See FactorCacheStats and ResetFactorCache for cache introspection.
 //
+// # Batched transient stepping
+//
+// Transients that share one cached factorization — the cache hands the
+// same *linalg.Cholesky to every integrator built from the same stack
+// geometry, parameters, and time step — can advance in lockstep:
+// TransientBatch gathers every lane's implicit-Euler right-hand side
+// into a column-major panel and performs one blocked triangular solve
+// (linalg.Cholesky.SolvePanel) per tick instead of K independent
+// sparse sweeps. Per lane the arithmetic is exactly
+// Transient.StepInto's, so batched trajectories are bitwise identical
+// to sequential ones. NewTransientBatch returns ErrNotBatchable when
+// lanes don't share a factorization; callers fall back to stepping
+// each integrator alone. The batch owns its panel and scratch
+// (allocated once), the lanes keep owning their integrator state, and
+// a batch belongs to one goroutine like the Transients it drives.
+//
 // Internally everything is SI: metres, watts, kelvins (temperatures are
 // expressed in °C above an absolute ambient, which is equivalent for a
 // linear network). Floorplan geometry arrives in millimetres and is

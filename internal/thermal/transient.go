@@ -2,6 +2,7 @@ package thermal
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/linalg"
 )
@@ -139,6 +140,32 @@ func (t *Transient) StepInto(dst, blockPower []float64) error {
 	return nil
 }
 
+// substepCount returns how many equal substeps cover dt when each
+// substep may be at most sub seconds: the epsilon-tolerant ceiling of
+// dt/sub (the same treatment sim's tickCount gives durations). Plain
+// int(dt/sub)+1 always ran one extra substep — 2 where 1 suffices when
+// stability does not bind (sub == dt) — and was float-truncation
+// fragile: a ratio landing just below an integer would still pay the
+// +1 on top of the ceiling it already implied. Ratios within relative
+// epsilon of an integer round to it; genuinely fractional ratios take
+// the true ceiling so no substep ever exceeds sub by more than
+// rounding noise.
+func substepCount(dt, sub float64) int {
+	ratio := dt / sub
+	rounded := math.Round(ratio)
+	if math.Abs(ratio-rounded) <= 1e-9*math.Max(1, math.Abs(ratio)) {
+		if rounded < 1 {
+			return 1
+		}
+		return int(rounded)
+	}
+	steps := int(math.Ceil(ratio))
+	if steps < 1 {
+		return 1
+	}
+	return steps
+}
+
 // Temps returns the current node temperatures in °C.
 func (t *Transient) Temps() []float64 {
 	out := make([]float64, len(t.rise))
@@ -201,7 +228,7 @@ func (m *Model) StepRK4(tempsC []float64, blockPower []float64, dt float64) ([]f
 			sub = maxStep
 		}
 	}
-	steps := int(dt/sub) + 1
+	steps := substepCount(dt, sub)
 	h := dt / float64(steps)
 
 	k1 := make([]float64, n)
