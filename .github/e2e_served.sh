@@ -114,6 +114,23 @@ RELJOBS1=$(metric reliability_jobs_total)
 [ "$RELJOBS1" -eq $((RELJOBS0 + JOBS)) ] ||
 	fail "reliability_jobs_total went $RELJOBS0 -> $RELJOBS1, want +$JOBS"
 
+echo "e2e: 2c/4 model-predictive sweep is byte-identical served vs local"
+# The MPC policies drive snapshot/fork rollouts inside every decision
+# epoch — parallel lane evaluation included — so this round proves the
+# planning path stays deterministic across processes: the served stream
+# must match the direct run byte for byte.
+MPC_ARGS="-exps 2 -policies DVFS_TT,MPC_Thermal,MPC_Rel -benchmarks Web-med -duration 2 -seed 1"
+"$WORKDIR/dtmsweep" -out jsonl -canonical $MPC_ARGS \
+	>"$WORKDIR/direct_mpc.jsonl" 2>/dev/null || fail "direct MPC sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$ADDR" $MPC_ARGS \
+	>"$WORKDIR/remote_mpc.jsonl" 2>/dev/null || fail "remote MPC sweep failed"
+cmp -s "$WORKDIR/direct_mpc.jsonl" "$WORKDIR/remote_mpc.jsonl" ||
+	fail "served MPC records differ from the direct run (nondeterministic planning?)"
+# 3 requested policies + the implicit Default baseline the sweep
+# normalizes performance against.
+[ "$(wc -l <"$WORKDIR/remote_mpc.jsonl")" -eq 4 ] ||
+	fail "expected 4 MPC-round records, got $(wc -l <"$WORKDIR/remote_mpc.jsonl")"
+
 echo "e2e: 3/4 SSE framing"
 curl -sf -H 'Accept: text/event-stream' -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/sse.txt" ||
 	fail "SSE sweep failed"

@@ -116,8 +116,9 @@ func NewAdapt3D(s *Stack, seed int64) (*Adapt3D, error) {
 // NewDefaultPolicy returns the baseline OS load balancer.
 func NewDefaultPolicy() Policy { return policy.NewDefault() }
 
-// PolicySet builds the full 12-policy roster for a stack (the paper's
-// 11 plus the lifetime-aware DVFS_Rel).
+// PolicySet builds the full 14-policy roster for a stack (the paper's
+// 11 plus the lifetime-aware DVFS_Rel and the model-predictive
+// MPC_Thermal/MPC_Rel pair).
 func PolicySet(s *Stack, seed int64) ([]Policy, error) { return exp.BuildPolicySet(s, seed) }
 
 // PolicyByName builds one policy from the roster by its Figure 3 name.

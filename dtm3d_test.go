@@ -39,7 +39,7 @@ func TestFacadeBuildAndRun(t *testing.T) {
 
 func TestFacadePolicyRoster(t *testing.T) {
 	names := PolicyNames()
-	if len(names) != 12 { // the paper's 11 + the lifetime-aware DVFS_Rel
+	if len(names) != 14 { // the paper's 11 + DVFS_Rel + the MPC pair
 		t.Fatalf("roster has %d names", len(names))
 	}
 	stack, _ := BuildStack(EXP1)

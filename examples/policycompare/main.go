@@ -1,6 +1,6 @@
 // Policy comparison: the scenario behind the paper's Figure 3. A server
 // consolidates web and database load onto a 4-tier 3D stack (EXP-3); we
-// race all twelve management policies on the identical job trace and
+// race all fourteen management policies on the identical job trace and
 // report hot-spot residency, performance, and energy.
 package main
 

@@ -170,6 +170,24 @@ func rankIndices(values []float64) []float64 {
 	return out
 }
 
+// Fork implements policy.Forker: the clone duplicates the thermal
+// indices, the online-estimation accumulators, and the probability
+// engine (including its random stream position), with the weight
+// closure rebound to the clone so online index refreshes stay
+// per-instance.
+func (p *Adapt3D) Fork() policy.Policy {
+	f := &Adapt3D{
+		cfg:     p.cfg,
+		alpha:   append([]float64(nil), p.alpha...),
+		onlineN: p.onlineN,
+	}
+	if p.onlineSum != nil {
+		f.onlineSum = append([]float64(nil), p.onlineSum...)
+	}
+	f.eng = p.eng.Fork(f.weight)
+	return f
+}
+
 // Probabilities exposes the allocation distribution.
 func (p *Adapt3D) Probabilities() []float64 { return p.eng.Probabilities() }
 

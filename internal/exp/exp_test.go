@@ -13,8 +13,8 @@ func TestBuildPolicySetMatchesPaperRoster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(set) != 12 {
-		t.Fatalf("roster has %d policies, want the paper's 11 + DVFS_Rel", len(set))
+	if len(set) != 14 {
+		t.Fatalf("roster has %d policies, want the paper's 11 + DVFS_Rel + MPC pair", len(set))
 	}
 	for i, p := range set {
 		if p.Name() != PolicyOrder[i] {

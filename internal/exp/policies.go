@@ -10,8 +10,9 @@ import (
 )
 
 // PolicyOrder is the paper's Figure 3 x-axis ordering, extended with
-// the lifetime-aware DVFS_Rel policy (inserted after the paper's DVFS
-// variants; everything else keeps its published position).
+// the lifetime-aware DVFS_Rel policy and the model-predictive
+// MPC_Thermal/MPC_Rel pair (inserted after the paper's DVFS variants;
+// everything else keeps its published position).
 var PolicyOrder = []string{
 	"Default",
 	"CGate",
@@ -19,6 +20,8 @@ var PolicyOrder = []string{
 	"DVFS_Util",
 	"DVFS_FLP",
 	"DVFS_Rel",
+	"MPC_Thermal",
+	"MPC_Rel",
 	"Migr",
 	"AdaptRand",
 	"Adapt3D",

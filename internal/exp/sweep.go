@@ -47,13 +47,30 @@ func StressScenarios() []sweep.Scenario {
 
 // RunnerHooks are optional observation points a runner's simulations
 // report into. All hooks must be safe for concurrent calls: one runner
-// serves every worker of a pool.
+// serves every worker of a pool, so the observer's methods fire from
+// many simulations at once.
 type RunnerHooks struct {
-	// OnTick fires once per completed simulated tick across all runs.
+	// Observer is attached to every simulation the runner executes.
 	// The serving layer feeds its ticks-per-second throughput metric
-	// from it; keep it to an atomic counter bump so the tick loop stays
-	// allocation-free.
+	// from ObserveTick; keep implementations to an atomic counter bump
+	// so the tick loop stays allocation-free.
+	Observer sim.Observer
+
+	// OnTick fires once per completed simulated tick across all runs.
+	//
+	// Deprecated: implement Observer instead. OnTick keeps working —
+	// it is adapted into the observer chain — but new code should use
+	// the interface, which also exposes per-tick temperatures.
 	OnTick func()
+}
+
+// observer folds the hooks into the single sim.Observer attached to
+// each run (nil when no hooks are set).
+func (h RunnerHooks) observer() sim.Observer {
+	if h.OnTick == nil {
+		return h.Observer
+	}
+	return sim.Observers(h.Observer, sim.FuncObserver{Tick: func(int) { h.OnTick() }})
 }
 
 // NewRunner returns the simulator-backed job runner. All runs launched
@@ -79,12 +96,9 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 // byte-identical to the per-job path's; pair it with GroupKey in
 // sweep.Options.
 func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
-	var onTick func(int)
-	if hooks.OnTick != nil {
-		onTick = func(int) { hooks.OnTick() }
-	}
+	obs := hooks.observer()
 	traces := workload.NewTraceCache()
-	cfgFor := func(ctx context.Context, j sweep.Job) (sim.Config, error) {
+	cfgFor := func(j sweep.Job) (sim.Config, error) {
 		b, err := workload.ByName(j.Bench)
 		if err != nil {
 			return sim.Config{}, err
@@ -129,16 +143,15 @@ func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 			Seed:                j.Seed,
 			Solver:              j.Solver,
 			TrackLifetime:       j.Reliability,
-			Ctx:                 ctx,
-			OnTick:              onTick,
+			Observer:            obs,
 		}, nil
 	}
 	run := func(ctx context.Context, j sweep.Job) (sweep.Record, error) {
-		cfg, err := cfgFor(ctx, j)
+		cfg, err := cfgFor(j)
 		if err != nil {
 			return sweep.Record{}, err
 		}
-		res, err := sim.Run(cfg)
+		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return sweep.Record{}, err
 		}
@@ -147,13 +160,13 @@ func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 	runGroup := func(ctx context.Context, group []sweep.Job) ([]sweep.Record, error) {
 		cfgs := make([]sim.Config, len(group))
 		for i, j := range group {
-			cfg, err := cfgFor(ctx, j)
+			cfg, err := cfgFor(j)
 			if err != nil {
 				return nil, err
 			}
 			cfgs[i] = cfg
 		}
-		results, err := sim.RunBatch(cfgs)
+		results, err := sim.RunBatchContext(ctx, cfgs)
 		if err != nil {
 			return nil, err
 		}
@@ -175,11 +188,30 @@ func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 // tracking are deliberately absent: they vary freely across the lanes
 // of a batch without affecting the factorization. Non-cached solver
 // jobs return "" and stay on the per-job path.
+//
+// The model identity comes from sim.ModelKey — the same helper Prewarm
+// validates against — so grouping can never diverge from the
+// factorization the runs actually share. Scenario labels do not
+// participate: two differently-named scenarios with identical physics
+// build one thermal system and batch together.
 func GroupKey(j sweep.Job) string {
 	if j.Solver != thermal.SolverCached {
 		return ""
 	}
-	return fmt.Sprintf("%s|%s|%gs", j.Scenario.ID(), j.Solver, j.DurationS)
+	sc := j.Scenario
+	key, err := sim.ModelKey(sim.Config{
+		Exp:                 sc.Exp,
+		JointResistivityMKW: sc.JointResistivityMKW,
+		GridRows:            sc.GridRows,
+		GridCols:            sc.GridCols,
+		Solver:              j.Solver,
+	})
+	if err != nil {
+		// No canonical identity (partial grid spec): stay on the
+		// per-job path, where sim.Run reports the config error itself.
+		return ""
+	}
+	return fmt.Sprintf("%s|%gs", key, j.DurationS)
 }
 
 // Prewarm factors every cached-solver scenario's thermal systems into

@@ -308,10 +308,14 @@ func (f *Cholesky) SolveMultiBuffered(cols [][]float64, scratch []float64) error
 }
 
 // SolveMulti solves A*X = B column by column, overwriting each B column
-// with its solution. It is the allocating compatibility shim over the
-// panel path: the columns advance through one blocked traversal of L
-// (see SolvePanel) instead of one triangular sweep each; hot loops
-// should hold the n*k scratch themselves and call SolveMultiBuffered.
+// with its solution. The columns advance through one blocked traversal
+// of L (see SolvePanel) instead of one triangular sweep each.
+//
+// Deprecated: SolveMulti allocates its n*k panel scratch on every
+// call. Hold the scratch yourself and use SolveMultiBuffered (or
+// SolvePanel for contiguous lane-major panels); the shim remains only
+// so existing call sites keep compiling and for the equivalence tests
+// that pin it to the buffered path.
 func (f *Cholesky) SolveMulti(cols [][]float64) error {
 	return f.SolveMultiBuffered(cols, make([]float64, f.n*len(cols)))
 }

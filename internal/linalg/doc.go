@@ -30,7 +30,8 @@
 // results are bitwise identical to k scalar solves — the contract the
 // batched transient stepping in internal/thermal builds on.
 // SolveMultiBuffered adapts scattered column slices onto the same
-// kernel; SolveMulti remains as an allocating convenience shim.
+// kernel; the allocating SolveMulti shim is deprecated in its favour
+// and kept only for compatibility.
 //
 // # Buffer ownership and concurrency
 //

@@ -5,9 +5,13 @@
 // Adaptive-Random allocator of [7], hybrid combinations, the DPM
 // fixed-timeout power manager — plus the lifetime-aware DVFS_Rel
 // extension, which balances accumulated rainflow cycling damage across
-// cores using the streaming accumulators of internal/reliability. The
-// paper's own contribution, Adapt3D, lives in internal/core and plugs
-// into the same interface.
+// cores using the streaming accumulators of internal/reliability, and
+// the model-predictive MPC_Thermal/MPC_Rel pair, which score candidate
+// DVFS/migration actions by rolling the actual simulation forward over
+// a short horizon (the Rollout interface, implemented by the engine's
+// snapshot/fork machinery in internal/sim). The paper's own
+// contribution, Adapt3D, lives in internal/core and plugs into the
+// same interface.
 //
 // # Place in the dataflow
 //
@@ -28,4 +32,17 @@
 // engine-owned and read-only for the policy. A Policy instance belongs
 // to exactly one simulation goroutine — nothing here is safe for
 // concurrent use; the sweep layer builds a fresh roster per run.
+//
+// # Forking
+//
+// Every registry policy implements Forker: Fork returns an
+// independent clone owning fresh copies of all mutable state (level
+// slices, damage accumulators, RNG position), so snapshot/restore and
+// rollout lanes can branch a simulation without the clone and the
+// original ever sharing a buffer. Stochastic policies fork by
+// replaying their seeded RNG to the captured draw count, preserving
+// the exact random stream; a fork therefore continues bit-for-bit as
+// the original would have. The same one-goroutine rule applies to each
+// clone — forking is how state crosses goroutines, shared buffers
+// never do.
 package policy

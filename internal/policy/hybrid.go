@@ -15,6 +15,7 @@ type Hybrid struct {
 	Alloc Policy
 	DVFS  Policy
 	name  string
+	migs  []Migration // reused TickDecision.Migrations merge buffer
 }
 
 // NewHybrid composes two policies. The allocation policy's migrations
@@ -41,10 +42,13 @@ func (h *Hybrid) AssignCore(v *View, job workload.Job) int { return h.Alloc.Assi
 func (h *Hybrid) Tick(v *View) TickDecision {
 	da := h.Alloc.Tick(v)
 	dd := h.DVFS.Tick(v)
-	out := TickDecision{
-		Levels:     dd.Levels,
-		Gate:       dd.Gate,
-		Migrations: append(da.Migrations, dd.Migrations...),
+	out := TickDecision{Levels: dd.Levels, Gate: dd.Gate}
+	// Merge into the hybrid's own buffer: appending to da.Migrations
+	// directly could grow into (and allocate away from) the allocator's
+	// reused buffer, and the merged slice must stay policy-owned.
+	h.migs = append(append(h.migs[:0], da.Migrations...), dd.Migrations...)
+	if len(h.migs) > 0 {
+		out.Migrations = h.migs
 	}
 	return out
 }
@@ -71,9 +75,12 @@ func (d DPM) ShouldSleep(idleS float64) bool {
 
 // Registry builds the paper's policy list — Default, CGate, DVFS_TT,
 // DVFS_Util, DVFS_FLP, Migr, AdaptRand — plus the lifetime-aware
-// DVFS_Rel extension, for a machine with numCores cores. Adapt3D and
-// its hybrids (via internal/core) are appended by the caller. The seed
-// feeds the stochastic allocators.
+// DVFS_Rel extension and the model-predictive MPC_Thermal/MPC_Rel
+// pair, for a machine with numCores cores. Adapt3D and its hybrids
+// (via internal/core) are appended by the caller. The seed feeds the
+// stochastic allocators. The MPC policies plan by simulator rollout:
+// the engine attaches their Rollout at run setup (see Planner), and
+// until then they fall back to utilization-covering DVFS.
 func Registry(numCores int, seed int64) ([]Policy, error) {
 	ar, err := NewAdaptRand(numCores, seed)
 	if err != nil {
@@ -86,6 +93,8 @@ func Registry(numCores int, seed int64) ([]Policy, error) {
 		NewDVFSUtil(),
 		NewDVFSFLP(),
 		NewDVFSRel(),
+		NewMPCThermal(),
+		NewMPCRel(),
 		NewMigr(),
 		ar,
 	}, nil

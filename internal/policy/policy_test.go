@@ -336,8 +336,8 @@ func TestRegistryNamesAreUnique(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ps) != 8 {
-		t.Fatalf("registry has %d policies, want 7 baselines + DVFS_Rel", len(ps))
+	if len(ps) != 10 {
+		t.Fatalf("registry has %d policies, want 7 baselines + DVFS_Rel + MPC pair", len(ps))
 	}
 	seen := make(map[string]bool)
 	for _, p := range ps {

@@ -34,7 +34,38 @@ type ProbEngine struct {
 	hist [][]float64 // ring buffer per core
 	pos  int
 	fill int
-	rng  *rand.Rand
+	rng  *replayRNG
+}
+
+// replayRNG wraps the seeded uniform stream behind a draw counter so
+// the engine's checkpoint machinery can clone it: math/rand exposes no
+// way to capture generator state, so a fork reseeds from the original
+// seed and replays the consumed prefix — exact for any count, linear
+// in draws (sweep-scale runs draw once per job arrival, so replay cost
+// stays negligible). The Float64 sequence is bit-identical to the
+// rand.Rand it wraps, which the golden aggregate tests pin.
+type replayRNG struct {
+	seed  int64
+	r     *rand.Rand
+	draws uint64
+}
+
+func newReplayRNG(seed int64) *replayRNG {
+	return &replayRNG{seed: seed, r: rand.New(rand.NewSource(seed))}
+}
+
+func (g *replayRNG) Float64() float64 {
+	g.draws++
+	return g.r.Float64()
+}
+
+func (g *replayRNG) fork() *replayRNG {
+	f := newReplayRNG(g.seed)
+	for i := uint64(0); i < g.draws; i++ {
+		f.r.Float64()
+	}
+	f.draws = g.draws
+	return f
 }
 
 // NewProbEngine builds an engine for numCores cores with uniform initial
@@ -54,7 +85,7 @@ func NewProbEngine(numCores, window int, seed int64, weightFn func(core int, wdi
 		Window:   window,
 		raw:      make([]float64, numCores),
 		hist:     make([][]float64, numCores),
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      newReplayRNG(seed),
 	}
 	for c := range e.hist {
 		e.hist[c] = make([]float64, window)
@@ -63,6 +94,32 @@ func NewProbEngine(numCores, window int, seed int64, weightFn func(core int, wdi
 		e.raw[c] = 0.5 // neutral initial willingness
 	}
 	return e, nil
+}
+
+// Fork returns an independent copy of the engine: probability state,
+// history ring, and the random stream position are all duplicated, so
+// parent and fork sample identically from here on without sharing
+// state. The weight function cannot be copied blindly — policies close
+// it over their own struct — so the caller passes the fork's closure
+// (nil keeps the receiver's, safe only for stateless weight
+// functions).
+func (e *ProbEngine) Fork(weightFn func(core int, wdiff float64) float64) *ProbEngine {
+	if weightFn == nil {
+		weightFn = e.WeightFn
+	}
+	f := &ProbEngine{
+		WeightFn: weightFn,
+		Window:   e.Window,
+		raw:      append([]float64(nil), e.raw...),
+		hist:     make([][]float64, len(e.hist)),
+		pos:      e.pos,
+		fill:     e.fill,
+		rng:      e.rng.fork(),
+	}
+	for c := range f.hist {
+		f.hist[c] = append([]float64(nil), e.hist[c]...)
+	}
+	return f
 }
 
 // Observe pushes one temperature sample per core into the history.
@@ -304,3 +361,14 @@ func (a *AdaptRand) Tick(v *View) TickDecision {
 // Probabilities exposes the current allocation distribution (for tests
 // and instrumentation).
 func (a *AdaptRand) Probabilities() []float64 { return a.eng.Probabilities() }
+
+// Fork implements Forker: the fork gets its own probability engine —
+// history, probabilities, and random stream position all duplicated —
+// with a weight closure over the fork's Beta.
+func (a *AdaptRand) Fork() Policy {
+	f := &AdaptRand{Beta: a.Beta}
+	f.eng = a.eng.Fork(func(core int, wdiff float64) float64 {
+		return f.Beta * wdiff
+	})
+	return f
+}

@@ -1,0 +1,105 @@
+package reliability
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// This file holds the snapshot side of the wear accumulators, used by
+// the simulation engine's checkpoint/fork machinery (sim.Engine
+// Snapshot/Restore/Fork) and by MPC rollout lanes, which reset a
+// tracker per candidate evaluation. Save reuses the state's buffers
+// and Load the accumulator's, so a snapshot cadence is
+// allocation-bounded after the first capture — Stream is a plain value
+// (fixed-capacity turning-point array), which is what makes a tracker
+// snapshot a slice copy rather than a deep walk.
+
+// TrackerState is a value snapshot of a Tracker's wear accumulators.
+// The zero value is ready to use as a Save destination.
+type TrackerState struct {
+	streams []Stream
+	emSum   []float64
+	maxC    []float64
+	samples int
+}
+
+// Save captures the tracker's accumulated wear into s.
+func (t *Tracker) Save(s *TrackerState) {
+	s.streams = append(s.streams[:0], t.streams...)
+	s.emSum = append(s.emSum[:0], t.emSum...)
+	s.maxC = append(s.maxC[:0], t.maxC...)
+	s.samples = t.samples
+}
+
+// Load restores the tracker's wear from s. The tracker must track the
+// same number of signals the state was saved from; metadata and models
+// are left as configured.
+func (t *Tracker) Load(s *TrackerState) error {
+	if len(s.streams) != len(t.streams) {
+		return fmt.Errorf("reliability: tracker state has %d signals, tracker %d", len(s.streams), len(t.streams))
+	}
+	copy(t.streams, s.streams)
+	copy(t.emSum, s.emSum)
+	copy(t.maxC, s.maxC)
+	t.samples = s.samples
+	return nil
+}
+
+// Reset returns the tracker to its just-constructed state: empty
+// streams, zero EM sums, no samples. MPC rollout lanes call it once
+// per candidate evaluation so each rollout scores only the damage its
+// own horizon would add. Allocation-free.
+func (t *Tracker) Reset() {
+	for i := range t.streams {
+		t.streams[i].Init(t.Cycling)
+	}
+	for i := range t.emSum {
+		t.emSum[i] = 0
+	}
+	for i := range t.maxC {
+		t.maxC[i] = math.Inf(-1)
+	}
+	t.samples = 0
+}
+
+// AssessorState is a value snapshot of an Assessor's stress
+// accumulators. Unlike TrackerState its size grows with the run (the
+// assessor stores full rainflow cycle censuses), so snapshot-heavy
+// users prefer the Tracker. The zero value is a ready Save
+// destination.
+type AssessorState struct {
+	flows   []*metrics.Rainflow
+	emSum   []float64
+	samples int
+}
+
+// Save captures the assessor's accumulated stress into s.
+func (a *Assessor) Save(s *AssessorState) {
+	if len(s.flows) != len(a.flows) {
+		s.flows = make([]*metrics.Rainflow, len(a.flows))
+		for i := range s.flows {
+			s.flows[i] = metrics.NewRainflow()
+		}
+	}
+	for i, f := range a.flows {
+		s.flows[i].CopyFrom(f)
+	}
+	s.emSum = append(s.emSum[:0], a.emSum...)
+	s.samples = a.samples
+}
+
+// Load restores the assessor's stress from s. The assessor must cover
+// the same number of cores the state was saved from.
+func (a *Assessor) Load(s *AssessorState) error {
+	if len(s.flows) != len(a.flows) {
+		return fmt.Errorf("reliability: assessor state has %d cores, assessor %d", len(s.flows), len(a.flows))
+	}
+	for i, f := range s.flows {
+		a.flows[i].CopyFrom(f)
+	}
+	copy(a.emSum, s.emSum)
+	a.samples = s.samples
+	return nil
+}

@@ -39,6 +39,95 @@ type Machine struct {
 	idleSinceS []float64
 
 	totalMigrations int
+
+	// pool recycles QueuedJob allocations across Load calls so that
+	// restoring a snapshot reuses the machine's existing job objects
+	// instead of reallocating every queue entry.
+	pool []*QueuedJob
+}
+
+// MachineState is a value snapshot of a Machine's mutable state: the
+// per-core queues flattened into one job vector, the completed list,
+// and the clock/idle bookkeeping. Save reuses the state's slices, and
+// Load reuses the machine's existing job allocations, so a
+// Save/Load cycle is allocation-bounded after warm-up. A state saved
+// from one machine may only be loaded into a machine with the same
+// core count.
+type MachineState struct {
+	NowS            float64
+	TotalMigrations int
+	IdleSinceS      []float64
+	// QueueLens[c] is core c's queue length; Queued holds the queue
+	// contents concatenated in core order, head first.
+	QueueLens []int
+	Queued    []QueuedJob
+	Completed []QueuedJob
+}
+
+// Save captures the machine's mutable state into s, reusing s's
+// buffers when they are large enough.
+func (m *Machine) Save(s *MachineState) {
+	s.NowS = m.nowS
+	s.TotalMigrations = m.totalMigrations
+	s.IdleSinceS = append(s.IdleSinceS[:0], m.idleSinceS...)
+	s.QueueLens = s.QueueLens[:0]
+	s.Queued = s.Queued[:0]
+	for _, q := range m.queues {
+		s.QueueLens = append(s.QueueLens, len(q))
+		for _, j := range q {
+			s.Queued = append(s.Queued, *j)
+		}
+	}
+	s.Completed = s.Completed[:0]
+	for _, j := range m.completed {
+		s.Completed = append(s.Completed, *j)
+	}
+}
+
+// Load restores the machine's mutable state from s. Existing QueuedJob
+// objects are reused where possible; the core count must match the
+// saved state.
+func (m *Machine) Load(s *MachineState) error {
+	if len(s.QueueLens) != m.numCores || len(s.IdleSinceS) != m.numCores {
+		return fmt.Errorf("sched: state for %d cores loaded into %d-core machine", len(s.QueueLens), m.numCores)
+	}
+	// Recycle every live job object through the pool, then repopulate.
+	m.pool = m.pool[:0]
+	for _, q := range m.queues {
+		m.pool = append(m.pool, q...)
+	}
+	m.pool = append(m.pool, m.completed...)
+	alloc := func(v QueuedJob) *QueuedJob {
+		if n := len(m.pool); n > 0 {
+			j := m.pool[n-1]
+			m.pool = m.pool[:n-1]
+			*j = v
+			return j
+		}
+		j := new(QueuedJob)
+		*j = v
+		return j
+	}
+	m.nowS = s.NowS
+	m.totalMigrations = s.TotalMigrations
+	copy(m.idleSinceS, s.IdleSinceS)
+	pos := 0
+	for c := 0; c < m.numCores; c++ {
+		q := m.queues[c][:0]
+		for i := 0; i < s.QueueLens[c]; i++ {
+			q = append(q, alloc(s.Queued[pos]))
+			pos++
+		}
+		m.queues[c] = q
+	}
+	if pos != len(s.Queued) {
+		return fmt.Errorf("sched: state queue lengths sum to %d but %d jobs saved", pos, len(s.Queued))
+	}
+	m.completed = m.completed[:0]
+	for i := range s.Completed {
+		m.completed = append(m.completed, alloc(s.Completed[i]))
+	}
+	return nil
 }
 
 // NewMachine builds a machine with the given core count and per-migration

@@ -34,7 +34,7 @@
 // in-flight table (mutated together in one critical section, so a
 // concurrent request always sees a job as either in-flight or cached,
 // never neither) and the lock-free counters (atomics, updated by
-// workers and handlers without contention; OnTick fires roughly every
-// 17 µs per worker). Handlers run on net/http's goroutines; simulation
+// workers and handlers without contention; the tick observer fires
+// roughly every 17 µs per worker). Handlers run on net/http's goroutines; simulation
 // runs only on the worker pool.
 package server

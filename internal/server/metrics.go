@@ -56,8 +56,8 @@ type Metrics struct {
 
 // counters holds the hot-path counters as atomics so workers and
 // request handlers never contend on a lock to account their progress;
-// OnTick in particular fires once per simulated tick (~17 µs apart per
-// worker).
+// the tick observer in particular fires once per simulated tick
+// (~17 µs apart per worker).
 type counters struct {
 	start           time.Time
 	requestsTotal   atomic.Int64

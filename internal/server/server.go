@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/floorplan"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -92,7 +93,9 @@ func New(cfg Config) *Server {
 	s.runner = cfg.Runner
 	if s.runner == nil {
 		s.runner = exp.NewRunnerWithHooks(exp.RunnerHooks{
-			OnTick: func() { s.met.simTicks.Add(1) },
+			Observer: sim.FuncObserver{
+				Tick: func(int) { s.met.simTicks.Add(1) },
+			},
 		})
 	}
 	s.validate = cfg.ValidateJob

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -15,7 +16,7 @@ import (
 // heap allocations — the same contract the sequential engine tick
 // keeps.
 type batchDriver struct {
-	engines []*engine
+	engines []*Engine
 	batch   *thermal.TransientBatch
 	dsts    [][]float64
 	powers  [][]float64
@@ -28,7 +29,7 @@ type batchDriver struct {
 // stacks, parameters, or time steps — a non-sparse solver path, or
 // mismatched tick counts); the caller then falls back to running each
 // engine sequentially, which is always equivalent.
-func newBatchDriver(engines []*engine) (*batchDriver, error) {
+func newBatchDriver(engines []*Engine) (*batchDriver, error) {
 	nTicks := engines[0].nTicks
 	trs := make([]*thermal.Transient, len(engines))
 	for i, e := range engines {
@@ -90,7 +91,7 @@ func (d *batchDriver) tick(tick int) error {
 // error or cancellation aborts the whole batch, consistent with a
 // sweep treating its group as one unit of work.
 func RunBatch(cfgs []Config) ([]*Result, error) {
-	engines := make([]*engine, len(cfgs))
+	engines := make([]*Engine, len(cfgs))
 	for i := range cfgs {
 		e, err := newEngine(cfgs[i])
 		if err != nil {
@@ -101,9 +102,25 @@ func RunBatch(cfgs []Config) ([]*Result, error) {
 	return runEngineBatch(engines)
 }
 
+// RunBatchContext is RunBatch with one context governing every run in
+// the batch, polled per tick like RunContext. A non-nil ctx takes
+// precedence over the configs' deprecated Ctx fields.
+func RunBatchContext(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	if ctx != nil {
+		// Copy before rewriting Ctx: the caller's configs stay untouched.
+		cp := make([]Config, len(cfgs))
+		copy(cp, cfgs)
+		for i := range cp {
+			cp[i].Ctx = ctx
+		}
+		cfgs = cp
+	}
+	return RunBatch(cfgs)
+}
+
 // runEngineBatch drives built engines to completion, batched when
 // possible and sequentially otherwise.
-func runEngineBatch(engines []*engine) ([]*Result, error) {
+func runEngineBatch(engines []*Engine) ([]*Result, error) {
 	results := make([]*Result, len(engines))
 	if len(engines) == 0 {
 		return results, nil

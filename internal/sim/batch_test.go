@@ -52,7 +52,7 @@ func TestRunBatchMatchesRun(t *testing.T) {
 	// The lanes really must take the batched path: their engines share
 	// one factorization.
 	probe := batchLaneCfgs(t)
-	engines := make([]*engine, len(probe))
+	engines := make([]*Engine, len(probe))
 	for i := range probe {
 		e, err := newEngine(probe[i])
 		if err != nil {
@@ -125,7 +125,7 @@ func TestRunBatchFallsBack(t *testing.T) {
 // the same per-lane allocation budget the sequential tick is held to.
 func TestBatchedTickLoopAllocationContract(t *testing.T) {
 	pols := []policy.Policy{policy.NewDefault(), policy.NewDVFSTT(), policy.NewCGate()}
-	engines := make([]*engine, len(pols))
+	engines := make([]*Engine, len(pols))
 	for i, p := range pols {
 		engines[i] = steadyEngineCfg(t, Config{
 			Policy:    p,

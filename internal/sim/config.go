@@ -55,7 +55,10 @@ type Config struct {
 	TprefC     float64
 
 	// GridRows/GridCols switch the thermal model to grid mode when both
-	// are positive; block mode otherwise.
+	// are positive; block mode otherwise. Setting exactly one of them is
+	// a validation error — a partially specified grid used to fall back
+	// to block mode silently, which let batched sweeps warm or share the
+	// wrong factorization (see ModelKey).
 	GridRows, GridCols int
 
 	// Solver selects the thermal linear-solve path. The zero value is
@@ -90,31 +93,38 @@ type Config struct {
 	// time_s, total power (W), then one temperature column per core.
 	TraceWriter io.Writer
 
+	// Observer, when non-nil, receives the per-tick observations (see
+	// the Observer interface for the delivery order and the
+	// cheap/non-blocking/no-retention contract). It replaces the OnTick
+	// and OnTemps callback fields; when any of those are also set, the
+	// engine delivers to both — the deprecated hooks keep working
+	// through an adapter.
+	Observer Observer
+
 	// Ctx, when non-nil, is polled once per simulated tick; canceling
-	// it aborts the run with the context's error. Sweep orchestration
-	// uses this so an interrupted sweep stops mid-simulation instead of
-	// draining every in-flight run to completion.
+	// it aborts the run with the context's error.
+	//
+	// Deprecated: pass the context to RunContext instead, which takes
+	// precedence over this field. Ctx remains so existing call sites
+	// keep compiling and behaving identically.
 	Ctx context.Context
 
 	// OnTick, when non-nil, is invoked once after every completed
 	// simulated tick with the number of ticks completed so far (1-based).
-	// It is a progress hook for long-running callers — the serving layer
-	// derives its live per-tick throughput metric from it — and runs on
-	// the simulation goroutine, so it must be cheap and must not block;
-	// a closure that only bumps an atomic counter keeps the tick loop
-	// allocation-free.
+	//
+	// Deprecated: implement Observer.ObserveTick instead (FuncObserver
+	// adapts a bare function). The field keeps working through the
+	// compatibility adapter and observes the same point in the tick.
 	OnTick func(ticksCompleted int)
 
 	// OnTemps, when non-nil, is invoked once after every completed tick
-	// with the block and core temperature fields of that tick — the
-	// observation hook the lifetime tracker is built on, exposed so
-	// external accumulators (serving-layer wear aggregation, custom
-	// reliability models) can stream the same signals. Both slices are
-	// engine-owned scratch, valid only for the duration of the call:
-	// read, fold into your own state, and return — do not retain or
-	// mutate them. Like OnTick it runs on the simulation goroutine and
-	// must be cheap, non-blocking, and allocation-free to preserve the
-	// tick loop's allocation contract.
+	// with the block and core temperature fields of that tick. The
+	// slices are engine-owned scratch, valid only for the duration of
+	// the call.
+	//
+	// Deprecated: implement Observer.ObserveTemps instead (FuncObserver
+	// adapts a bare function). The field keeps working through the
+	// compatibility adapter and observes the same point in the tick.
 	OnTemps func(blockTempsC, coreTempsC []float64)
 }
 
@@ -122,6 +132,9 @@ type Config struct {
 func (c Config) withDefaults() (Config, error) {
 	if c.Policy == nil {
 		return c, fmt.Errorf("sim: config needs a policy")
+	}
+	if (c.GridRows > 0) != (c.GridCols > 0) {
+		return c, fmt.Errorf("sim: partial grid spec %dx%d: set both GridRows and GridCols (grid mode) or neither (block mode)", c.GridRows, c.GridCols)
 	}
 	if c.Exp == 0 {
 		c.Exp = floorplan.EXP1

@@ -34,15 +34,40 @@
 //
 // # Hooks and buffer ownership
 //
-// Config.OnTick and Config.OnTemps are per-tick observation hooks; both
+// Per-tick observation goes through the Observer interface
+// (Config.Observer); the legacy Config.OnTick/Config.OnTemps fields
+// remain as deprecated adapters into the same chain. Observer methods
 // run on the simulation goroutine and must be cheap, non-blocking, and
-// allocation-free. The slices passed to OnTemps are engine-owned
+// allocation-free. The slices passed to ObserveTemps are engine-owned
 // scratch, valid only for the duration of the call — fold them into
 // caller state, never retain them. Policy TickDecision slices are
 // policy-owned and copied by the engine immediately (see
 // policy.TickDecision for the full ownership rules).
 //
-// A single engine (one Run call) is strictly single-goroutine;
-// concurrency lives above it in the sweep worker pool, with one engine
-// per worker.
+// # Stepping, snapshots, and forks
+//
+// Run drives a whole simulation; callers that need the loop
+// themselves build an Engine (NewEngine) and Step it, then Finish.
+// Engine.Snapshot captures every piece of mutable tick state — raw
+// integrator state, scheduler queues, sensor stream position, meter
+// and wear accumulators, a clone of the policy — into a reusable
+// Snapshot value; Restore rewinds, and the resumed run is bitwise
+// identical to never having stopped (TestSnapshotRestoreResumesBitwise
+// pins this across every stack, the grid discretization, and both
+// reliability-tracking modes). Engine.Fork branches an independent
+// engine that shares the immutable inputs (stack, thermal model,
+// cached factorization, job trace) and copies all mutable state.
+//
+// Ownership rules for forked engines: the fork owns its buffers
+// outright — nothing mutable is shared with the parent, so parent and
+// fork may advance on different goroutines concurrently (the shared
+// factorization is read-only under the buffered solves). The fork
+// drops the parent's trace writer, observer, and context. The
+// model-predictive policies run on exactly this machinery: the engine
+// hands a policy.Planner a rollout evaluator that snapshots the host
+// mid-decision and replays candidate actions on pooled forked lanes.
+//
+// A single engine is strictly single-goroutine; concurrency lives in
+// the sweep worker pool (one engine per worker) and in rollout lanes
+// (one forked engine per lane).
 package sim

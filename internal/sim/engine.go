@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -89,6 +90,15 @@ func Prewarm(cfg Config) error {
 	if cfg.Policy == nil {
 		cfg.Policy = policy.NewDefault()
 	}
+	// Validate the model identity first: a config ModelKey rejects
+	// (notably a partial grid spec) must never warm a factorization,
+	// because the one it would build is not the one a corrected run
+	// uses. Custom stacks are exempt — they carry their own geometry.
+	if cfg.CustomStack == nil {
+		if _, err := ModelKey(cfg); err != nil {
+			return err
+		}
+	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return err
@@ -169,10 +179,18 @@ func (t *traceWriter) row(timeS, powerW float64, tempsC []float64) error {
 
 func (t *traceWriter) flush() error { return t.bw.Flush() }
 
-// engine holds one run's models and every per-tick scratch buffer,
+// Engine holds one run's models and every per-tick scratch buffer,
 // preallocated once so the steady-state tick loop performs no heap
 // allocations (see TestTickLoopAllocationContract).
-type engine struct {
+//
+// The zero value is not usable; construct with NewEngine. Beyond the
+// one-shot Run entry points, an Engine supports stepping (Step/Finish)
+// and checkpointing (Snapshot/Restore/Fork, in snapshot.go): all
+// mutable tick state can be captured into a Snapshot and later
+// restored — or transplanted into a forked engine sharing the
+// immutable thermal model and cached factorization — resuming
+// bitwise-identically to an uninterrupted run.
+type Engine struct {
 	cfg     Config
 	stack   *floorplan.Stack
 	model   *thermal.Model
@@ -185,11 +203,14 @@ type engine struct {
 	assessor  *reliability.Assessor
 	lifetime  *reliability.Tracker
 	trace     *traceWriter
+	obs       Observer
+	rollout   *rolloutSim
 
-	jobs   []workload.Job
-	jobIdx int
-	nTicks int
-	n      int // cores
+	jobs    []workload.Job
+	jobIdx  int
+	nTicks  int
+	tickIdx int // next tick to execute; == res.Ticks between ticks
+	n       int // cores
 
 	res  *Result
 	view policy.View
@@ -212,7 +233,9 @@ type engine struct {
 	readings   []float64
 }
 
-// Run executes one simulation.
+// Run executes one simulation. Prefer RunContext when the run should
+// be cancelable; Run remains for contexts-free callers and honors the
+// deprecated Config.Ctx field.
 func Run(cfg Config) (*Result, error) {
 	e, err := newEngine(cfg)
 	if err != nil {
@@ -221,11 +244,59 @@ func Run(cfg Config) (*Result, error) {
 	return e.run()
 }
 
+// RunContext is the canonical run entry: it executes one simulation,
+// polling ctx once per simulated tick and aborting with its error on
+// cancellation. A non-nil ctx takes precedence over the deprecated
+// Config.Ctx field.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx != nil {
+		cfg.Ctx = ctx
+	}
+	return Run(cfg)
+}
+
+// NewEngine validates the config and builds a stepping-ready engine:
+// models constructed, thermal state initialized to the idle fixed
+// point, all per-tick scratch preallocated, trace header written. Use
+// it instead of Run when the caller drives the loop itself — stepping
+// (Step, then Finish), checkpointing (Snapshot/Restore), or rollouts
+// (Fork).
+func NewEngine(cfg Config) (*Engine, error) { return newEngine(cfg) }
+
+// Step executes the next sampling interval. It returns io.EOF once
+// the configured duration is exhausted (the run is complete; call
+// Finish), or the first simulation error.
+func (e *Engine) Step() error {
+	if e.tickIdx >= e.nTicks {
+		return io.EOF
+	}
+	return e.tick(e.tickIdx)
+}
+
+// TickIndex returns the index of the next tick to execute; it equals
+// the number of completed ticks.
+func (e *Engine) TickIndex() int { return e.tickIdx }
+
+// TotalTicks returns the number of sampling intervals in the run.
+func (e *Engine) TotalTicks() int { return e.nTicks }
+
+// Finish flushes the trace and summarizes the run into its Result.
+// Callers driving the engine via Step call it once at the end; Run
+// does the equivalent internally.
+func (e *Engine) Finish() (*Result, error) {
+	if e.trace != nil {
+		if err := e.trace.flush(); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(), nil
+}
+
 // newEngine validates the config, builds the models, initializes the
 // thermal state the way the paper initializes HotSpot (idle steady state
 // with two leakage fixed-point iterations), preallocates all per-tick
 // scratch, and writes the trace header plus the t=0 row.
-func newEngine(cfg Config) (*engine, error) {
+func newEngine(cfg Config) (*Engine, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -261,7 +332,7 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 	}
 
-	e := &engine{
+	e := &Engine{
 		cfg:     cfg,
 		stack:   stack,
 		model:   model,
@@ -381,12 +452,25 @@ func newEngine(cfg Config) (*engine, error) {
 	if cfg.Ctx != nil {
 		e.done = cfg.Ctx.Done()
 	}
+	e.obs = cfg.observer()
+	e.attachRollout()
 	return e, nil
+}
+
+// attachRollout wires the engine's self-rollout adapter into a
+// planning policy (MPC_Thermal/MPC_Rel): the policy's candidate
+// actions are then scored by forked copies of this very engine. Other
+// policies are unaffected.
+func (e *Engine) attachRollout() {
+	if pl, ok := e.cfg.Policy.(policy.Planner); ok {
+		e.rollout = &rolloutSim{host: e}
+		pl.AttachRollout(e.rollout)
+	}
 }
 
 // fillCoreInputs refreshes the reused per-core power-model input buffer
 // from the current states, levels, utils, and memory activity.
-func (e *engine) fillCoreInputs() {
+func (e *Engine) fillCoreInputs() {
 	for c := range e.coreIn {
 		e.coreIn[c] = power.CoreInput{
 			State:       e.states[c],
@@ -398,7 +482,7 @@ func (e *engine) fillCoreInputs() {
 }
 
 // run executes the tick loop and summarizes the results.
-func (e *engine) run() (res *Result, err error) {
+func (e *Engine) run() (res *Result, err error) {
 	if e.trace != nil {
 		defer func() {
 			if ferr := e.trace.flush(); ferr != nil && err == nil {
@@ -406,8 +490,8 @@ func (e *engine) run() (res *Result, err error) {
 			}
 		}()
 	}
-	for tick := 0; tick < e.nTicks; tick++ {
-		if err := e.tick(tick); err != nil {
+	for e.tickIdx < e.nTicks {
+		if err := e.tick(e.tickIdx); err != nil {
 			return nil, err
 		}
 	}
@@ -420,7 +504,7 @@ func (e *engine) run() (res *Result, err error) {
 // and power), the thermal step, and tickPost (readback, metrics,
 // hooks); the batched driver runs the same three phases with the
 // thermal steps of K co-scheduled runs fused into one panel solve.
-func (e *engine) tick(tick int) error {
+func (e *Engine) tick(tick int) error {
 	if err := e.tickPre(tick); err != nil {
 		return err
 	}
@@ -435,7 +519,7 @@ func (e *engine) tick(tick int) error {
 // execution, and the leakage-aware power computation, leaving the
 // interval's per-block power in e.blockPower ready for the thermal
 // step.
-func (e *engine) tickPre(tick int) error {
+func (e *Engine) tickPre(tick int) error {
 	cfg := &e.cfg
 	select {
 	case <-e.done:
@@ -561,7 +645,7 @@ func (e *engine) tickPre(tick int) error {
 // tracking, hooks, and tracing. The caller must have advanced the
 // thermal network into e.nodeTemps (Transient.StepInto on the
 // sequential path, TransientBatch.StepInto on the batched one).
-func (e *engine) tickPost(tick int) error {
+func (e *Engine) tickPost(tick int) error {
 	cfg := &e.cfg
 	now := float64(tick) * cfg.TickS
 
@@ -589,8 +673,8 @@ func (e *engine) tickPost(tick int) error {
 			return err
 		}
 	}
-	if cfg.OnTemps != nil {
-		cfg.OnTemps(e.blockTemps, e.coreTemps)
+	if e.obs != nil {
+		e.obs.ObserveTemps(e.blockTemps, e.coreTemps)
 	}
 	if e.trace != nil {
 		if err := e.trace.row(now+cfg.TickS, power.Total(e.blockPower), e.coreTemps); err != nil {
@@ -598,14 +682,15 @@ func (e *engine) tickPost(tick int) error {
 		}
 	}
 	e.res.Ticks++
-	if cfg.OnTick != nil {
-		cfg.OnTick(e.res.Ticks)
+	e.tickIdx = tick + 1
+	if e.obs != nil {
+		e.obs.ObserveTick(e.res.Ticks)
 	}
 	return nil
 }
 
 // finish summarizes the run into the result.
-func (e *engine) finish() *Result {
+func (e *Engine) finish() *Result {
 	res := e.res
 	res.Metrics = e.collector.Summarize()
 	res.FinalBlockTempsC = append([]float64(nil), e.blockTemps...)

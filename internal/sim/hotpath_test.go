@@ -79,7 +79,7 @@ func TestRunExecutesAllTicks(t *testing.T) {
 // measured window, so ticks execute the full pipeline (dispatchless,
 // busy cores, leakage loop, thermal step, sensing, metrics) with no
 // job-lifecycle churn.
-func steadyEngine(tb testing.TB, pol policy.Policy) *engine {
+func steadyEngine(tb testing.TB, pol policy.Policy) *Engine {
 	return steadyEngineCfg(tb, Config{
 		Policy:    pol,
 		DurationS: 1800,
@@ -89,7 +89,7 @@ func steadyEngine(tb testing.TB, pol policy.Policy) *engine {
 
 // steadyEngineCfg is steadyEngine with a caller-supplied config (the
 // lifetime-tracker contract variant flips TrackLifetime on).
-func steadyEngineCfg(tb testing.TB, cfg Config) *engine {
+func steadyEngineCfg(tb testing.TB, cfg Config) *Engine {
 	tb.Helper()
 	n := 8 // EXP-1 cores
 	jobs := make([]workload.Job, 2*n)

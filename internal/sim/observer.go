@@ -1,0 +1,98 @@
+package sim
+
+// Observer is the consolidated per-tick observation interface: one
+// value receives everything the engine used to deliver through the
+// separate Config.OnTick and Config.OnTemps callback fields. Both
+// methods run on the simulation goroutine once per completed tick, in
+// a fixed order: ObserveTemps first (with that tick's temperature
+// fields), then — after the tick counter advances — ObserveTick with
+// the 1-based completed-tick count.
+//
+// Contract (identical to the hooks it replaces): implementations must
+// be cheap, non-blocking, and allocation-free, or they break the tick
+// loop's allocation contract; the slices passed to ObserveTemps are
+// engine-owned scratch, valid only for the duration of the call — read
+// and fold into your own state, do not retain or mutate them.
+type Observer interface {
+	// ObserveTick is called once after every completed simulated tick
+	// with the number of ticks completed so far (1-based).
+	ObserveTick(ticksCompleted int)
+	// ObserveTemps is called once after every completed tick with the
+	// block and core temperature fields of that tick (true
+	// temperatures, not sensor readings — the same signals the
+	// lifetime tracker consumes).
+	ObserveTemps(blockTempsC, coreTempsC []float64)
+}
+
+// FuncObserver adapts bare functions to Observer; nil fields are
+// skipped. It is both the migration shim for the deprecated
+// Config.OnTick/OnTemps fields and the convenient way to observe only
+// one of the two signals.
+type FuncObserver struct {
+	Tick  func(ticksCompleted int)
+	Temps func(blockTempsC, coreTempsC []float64)
+}
+
+// ObserveTick implements Observer.
+func (o FuncObserver) ObserveTick(ticksCompleted int) {
+	if o.Tick != nil {
+		o.Tick(ticksCompleted)
+	}
+}
+
+// ObserveTemps implements Observer.
+func (o FuncObserver) ObserveTemps(blockTempsC, coreTempsC []float64) {
+	if o.Temps != nil {
+		o.Temps(blockTempsC, coreTempsC)
+	}
+}
+
+// multiObserver fans each observation out to several observers in
+// order.
+type multiObserver []Observer
+
+func (m multiObserver) ObserveTick(n int) {
+	for _, o := range m {
+		o.ObserveTick(n)
+	}
+}
+
+func (m multiObserver) ObserveTemps(b, c []float64) {
+	for _, o := range m {
+		o.ObserveTemps(b, c)
+	}
+}
+
+// Observers combines observers into one, skipping nils; it returns
+// nil when none remain, so the result can go straight into
+// Config.Observer.
+func Observers(obs ...Observer) Observer {
+	var list []Observer
+	for _, o := range obs {
+		if o != nil {
+			list = append(list, o)
+		}
+	}
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return list[0]
+	}
+	return multiObserver(list)
+}
+
+// observer resolves the effective observer for a config: the Observer
+// field, combined with an adapter over the deprecated OnTick/OnTemps
+// callbacks when any are still set, so old call sites keep working
+// unchanged.
+func (c *Config) observer() Observer {
+	if c.OnTick == nil && c.OnTemps == nil {
+		return c.Observer
+	}
+	legacy := FuncObserver{Tick: c.OnTick, Temps: c.OnTemps}
+	if c.Observer == nil {
+		return legacy
+	}
+	return Observers(c.Observer, legacy)
+}

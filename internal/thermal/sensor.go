@@ -24,6 +24,12 @@ type SensorConfig struct {
 type Sensors struct {
 	cfg SensorConfig
 	rng *rand.Rand
+	// draws counts NormFloat64 calls consumed from the noise stream.
+	// math/rand exposes no way to capture generator state directly, so
+	// the engine snapshot machinery records the draw count and restores
+	// by reseeding and replaying (see Reseed) — exact for any count, and
+	// free for the default noise-free configuration, which never draws.
+	draws uint64
 }
 
 // NewSensors builds a sensor bank. The zero config yields ideal sensors.
@@ -57,12 +63,41 @@ func (s *Sensors) ReadInto(dst, trueTempsC []float64) {
 		v := t
 		if s.cfg.NoiseStdDevC > 0 {
 			v += s.rng.NormFloat64() * s.cfg.NoiseStdDevC
+			s.draws++
 		}
 		if q := s.cfg.QuantizationC; q > 0 {
 			v = quantize(v, q)
 		}
 		dst[i] = v
 	}
+}
+
+// Draws returns how many noise samples have been consumed so far; it
+// identifies the noise stream position for snapshot/restore.
+func (s *Sensors) Draws() uint64 { return s.draws }
+
+// Reseed rewinds the sensor bank to exactly `draws` noise samples into
+// its seeded stream: the generator is rebuilt from the configured seed
+// and the stream replayed. Restoring to the current position is a
+// no-op for ideal (noise-free) sensors, where the stream is never
+// consumed; with noise enabled the replay cost is linear in the draw
+// count, which snapshot-heavy users (MPC rollouts) should weigh.
+func (s *Sensors) Reseed(draws uint64) {
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	for i := uint64(0); i < draws; i++ {
+		s.rng.NormFloat64()
+	}
+	s.draws = draws
+}
+
+// Fork returns an independent sensor bank with the same configuration,
+// positioned at the same point of the noise stream, so a forked
+// engine's sensor readings continue deterministically without sharing
+// generator state with the parent.
+func (s *Sensors) Fork() *Sensors {
+	f := &Sensors{cfg: s.cfg, rng: rand.New(rand.NewSource(s.cfg.Seed))}
+	f.Reseed(s.draws)
+	return f
 }
 
 func quantize(v, q float64) float64 {

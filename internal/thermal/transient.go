@@ -166,6 +166,57 @@ func substepCount(dt, sub float64) int {
 	return steps
 }
 
+// Fork returns a new integrator over the same thermal system and time
+// step, sharing the immutable model, factorization, and C/dt diagonal
+// with the receiver but owning its own state and solve scratch. The
+// fork starts from a copy of the receiver's current state; afterwards
+// the two advance independently, and — because the shared sparse
+// factorization is read-only under SolveBuffered — concurrently. This
+// is the thermal half of the simulator's engine-fork primitive: K
+// rollout lanes cost K state vectors, not K factorizations.
+func (t *Transient) Fork() *Transient {
+	n := len(t.rise)
+	f := &Transient{
+		m:      t.m,
+		dt:     t.dt,
+		solver: t.solver,
+		chol:   t.chol,
+		cdt:    t.cdt,
+		rise:   append([]float64(nil), t.rise...),
+		rhs:    make([]float64, n),
+		pn:     make([]float64, n),
+	}
+	if t.chol != nil {
+		f.scratch = make([]float64, n)
+	}
+	return f
+}
+
+// StateInto copies the integrator's raw state — the temperature rise
+// above ambient per node — into the caller-owned dst of length
+// NumNodes. Unlike Temps it does not add the ambient back, so a
+// StateInto/SetState round trip restores the state bitwise (adding and
+// re-subtracting the ambient can perturb the last ulp), which the
+// engine snapshot machinery relies on.
+func (t *Transient) StateInto(dst []float64) error {
+	if len(dst) != len(t.rise) {
+		return fmt.Errorf("thermal: StateInto got %d entries, want %d", len(dst), len(t.rise))
+	}
+	copy(dst, t.rise)
+	return nil
+}
+
+// SetState overwrites the integrator's raw state with a rise vector
+// previously captured by StateInto. See StateInto for why this exists
+// alongside SetTemps.
+func (t *Transient) SetState(rise []float64) error {
+	if len(rise) != len(t.rise) {
+		return fmt.Errorf("thermal: SetState got %d entries, want %d", len(rise), len(t.rise))
+	}
+	copy(t.rise, rise)
+	return nil
+}
+
 // Temps returns the current node temperatures in °C.
 func (t *Transient) Temps() []float64 {
 	out := make([]float64, len(t.rise))
