@@ -11,6 +11,10 @@
 #   3. SSE framing delivers every record plus a terminal done event.
 #   4. SIGTERM drains gracefully (exit 0).
 #
+# Sub-rounds of 2 additionally pin reliability streams (2b),
+# model-predictive policies (2c), and declarative -stack sweeps with
+# inline specs (2d) byte-identical across the HTTP path.
+#
 # Run from the repo root: sh .github/e2e_served.sh
 # Needs: go, curl, jq.
 set -eu
@@ -130,6 +134,24 @@ cmp -s "$WORKDIR/direct_mpc.jsonl" "$WORKDIR/remote_mpc.jsonl" ||
 # normalizes performance against.
 [ "$(wc -l <"$WORKDIR/remote_mpc.jsonl")" -eq 4 ] ||
 	fail "expected 4 MPC-round records, got $(wc -l <"$WORKDIR/remote_mpc.jsonl")"
+
+echo "e2e: 2d/4 declarative-stack sweep is byte-identical served vs local"
+# Custom stacks travel as inline StackSpec JSON in the request body
+# (dtmsweep -stack always inlines), so the server needs no registry
+# entry — and the spec's content hash keys the jobs, so the stream
+# must still be byte-identical to the direct run and never collide
+# with the builtin EXP cache entries exercised above.
+STACK_ARGS="-stack scenarios/big-little.json,scenarios/microfluidic.json -policies Default,Adapt3D -benchmarks Web-med -duration 2 -seed 1"
+"$WORKDIR/dtmsweep" -out jsonl -canonical $STACK_ARGS \
+	>"$WORKDIR/direct_stack.jsonl" 2>/dev/null || fail "direct stack sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$ADDR" $STACK_ARGS \
+	>"$WORKDIR/remote_stack.jsonl" 2>/dev/null || fail "remote stack sweep failed"
+cmp -s "$WORKDIR/direct_stack.jsonl" "$WORKDIR/remote_stack.jsonl" ||
+	fail "served stack records differ from the direct run"
+[ "$(wc -l <"$WORKDIR/remote_stack.jsonl")" -eq 4 ] ||
+	fail "expected 4 stack-round records, got $(wc -l <"$WORKDIR/remote_stack.jsonl")"
+grep -q '"scenario":"stack:big-little#' "$WORKDIR/remote_stack.jsonl" ||
+	fail "stack records do not carry the stack:name#hash scenario identity"
 
 echo "e2e: 3/4 SSE framing"
 curl -sf -H 'Accept: text/event-stream' -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/sse.txt" ||

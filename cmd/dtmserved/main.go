@@ -26,10 +26,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/floorplan"
 	"repro/internal/server"
+	"repro/scenarios"
 )
 
 func main() {
@@ -42,7 +45,25 @@ func main() {
 	cacheFlag := flag.Int("cache", 0, "result cache capacity in records (0: 4096)")
 	maxJobsFlag := flag.Int("max-jobs", 0, "reject sweep requests expanding past this many jobs (0: 4096)")
 	drainFlag := flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGTERM before forcing them")
+	stackFlag := flag.String("stack", "", "comma-separated StackSpec JSON files to register by name at startup, so clients can reference them as {\"stack\": \"name\"} (the shipped library — "+strings.Join(scenarios.Names(), ", ")+" — is always registered)")
 	flag.Parse()
+
+	for _, path := range strings.Split(*stackFlag, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		spec, err := scenarios.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if spec.Name == "" {
+			log.Fatalf("%s: registered stack specs need a name", path)
+		}
+		if err := floorplan.RegisterStackSpec(spec); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registered stack spec %q (%s)", spec.Name, spec.Hash())
+	}
 
 	srv := server.New(server.Config{
 		Workers:         *workersFlag,

@@ -18,6 +18,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/thermal"
 	"repro/internal/workload"
+	"repro/scenarios"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	log.SetPrefix("dtmsim: ")
 
 	expFlag := flag.String("exp", "1", "experiment configuration (1..6; 5-6 are the extended 16/24-core stacks)")
+	stackFlag := flag.String("stack", "", "declarative stack instead of -exp: a StackSpec JSON file or a library name ("+strings.Join(scenarios.Names(), ", ")+")")
 	policyFlag := flag.String("policy", "Default", "policy name: "+strings.Join(exp.PolicyOrder, ", "))
 	benchFlag := flag.String("bench", "Web-med", "Table I benchmark name")
 	durFlag := flag.Float64("duration", 300, "simulated seconds")
@@ -36,13 +38,40 @@ func main() {
 	heatFlag := flag.Bool("heatmap", false, "draw per-layer ASCII heat maps of the final thermal field")
 	flag.Parse()
 
-	e, err := floorplan.ParseExperiment(*expFlag)
-	if err != nil {
-		log.Fatal(err)
+	cfg := sim.Config{
+		UseDPM:            *dpmFlag,
+		DurationS:         *durFlag,
+		Seed:              *seedFlag,
+		GridRows:          *gridFlag,
+		GridCols:          *gridFlag,
+		AssessReliability: *relFlag,
+		TrackLifetime:     *relFlag,
 	}
-	stack, err := floorplan.Build(e)
-	if err != nil {
-		log.Fatal(err)
+	var stack *floorplan.Stack
+	var stackLabel string
+	if *stackFlag != "" {
+		spec, err := scenarios.Load(*stackFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stack, err = spec.Build(); err != nil {
+			log.Fatal(err)
+		}
+		cfg.StackSpec = &spec
+		stackLabel = stack.Name
+		if stackLabel == "" {
+			stackLabel = "stack:" + spec.Hash()
+		}
+	} else {
+		e, err := floorplan.ParseExperiment(*expFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stack, err = floorplan.Build(e); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Exp = e
+		stackLabel = e.String()
 	}
 	pol, err := exp.BuildPolicy(*policyFlag, stack, *seedFlag)
 	if err != nil {
@@ -52,18 +81,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := sim.Config{
-		Exp:               e,
-		Policy:            pol,
-		Bench:             bench,
-		UseDPM:            *dpmFlag,
-		DurationS:         *durFlag,
-		Seed:              *seedFlag,
-		GridRows:          *gridFlag,
-		GridCols:          *gridFlag,
-		AssessReliability: *relFlag,
-		TrackLifetime:     *relFlag,
-	}
+	cfg.Policy = pol
+	cfg.Bench = bench
 	if *traceFlag != "" {
 		f, err := os.Create(*traceFlag)
 		if err != nil {
@@ -78,7 +97,7 @@ func main() {
 	}
 
 	w := os.Stdout
-	fmt.Fprintf(w, "%s on %v, %s, %.0f s simulated, DPM=%v\n", res.PolicyName, res.Exp, bench.Name, *durFlag, res.UseDPM)
+	fmt.Fprintf(w, "%s on %s, %s, %.0f s simulated, DPM=%v\n", res.PolicyName, stackLabel, bench.Name, *durFlag, res.UseDPM)
 	fmt.Fprintf(w, "  hot spots        : %6.2f %% of core-time above 85 °C\n", res.Metrics.HotSpotPct)
 	fmt.Fprintf(w, "  spatial gradients: %6.2f %% of time above 15 °C (worst layer)\n", res.Metrics.GradientPct)
 	fmt.Fprintf(w, "  thermal cycles   : %6.2f %% of windows with ΔT > 20 °C\n", res.Metrics.CyclePct)

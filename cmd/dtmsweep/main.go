@@ -46,6 +46,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/thermal"
+	scenlib "repro/scenarios"
 )
 
 // stopProfiles flushes any active CPU/heap profiles; idempotent. It is
@@ -119,6 +120,7 @@ func main() {
 	resumeFlag := flag.String("resume", "", "JSONL checkpoint of a previous invocation; completed jobs are skipped (sweep mode)")
 	ckFlag := flag.String("checkpoint", "", "append every completed run to this JSONL file (sweep mode)")
 	expsFlag := flag.String("exps", "", "comma-separated stack configurations 1..6 (default: the paper's 1,2,3,4; 5-6 are the extended scenario space)")
+	stackFlag := flag.String("stack", "", "comma-separated declarative stacks to sweep: StackSpec JSON files or library names ("+strings.Join(scenlib.Names(), ", ")+"); with no -exps they replace the builtin default (sweep mode)")
 	policiesFlag := flag.String("policies", "", "comma-separated policy names (default: full roster)")
 	dpmFlag := flag.Bool("dpm", false, "compose the fixed-timeout power manager into every run (sweep mode)")
 	durationsFlag := flag.String("durations", "", "comma-separated simulated durations in seconds (sweep mode; default: -duration)")
@@ -157,6 +159,7 @@ func main() {
 			resume:      *resumeFlag,
 			checkpoint:  *ckFlag,
 			exps:        *expsFlag,
+			stacks:      *stackFlag,
 			policies:    *policiesFlag,
 			benchmarks:  *benchFlag,
 			solvers:     *solverFlag,
@@ -248,7 +251,8 @@ func main() {
 type sweepFlags struct {
 	out, shard, resume, checkpoint string
 	remote                         string
-	exps, policies, benchmarks     string
+	exps, stacks                   string
+	policies, benchmarks           string
 	solvers, durations, grid       string
 	duration                       float64
 	seed                           int64
@@ -275,7 +279,8 @@ func splitList(s string) []string {
 func buildSpec(f sweepFlags) (sweep.Spec, error) {
 	var zero sweep.Spec
 	exps := floorplan.AllExperiments()
-	if f.exps != "" {
+	switch {
+	case f.exps != "":
 		exps = exps[:0]
 		for _, tok := range splitList(f.exps) {
 			e, err := floorplan.ParseExperiment(tok)
@@ -284,8 +289,22 @@ func buildSpec(f sweepFlags) (sweep.Spec, error) {
 			}
 			exps = append(exps, e)
 		}
+	case f.stacks != "":
+		// Declarative stacks replace the builtin default roster; mixing
+		// is explicit (-exps and -stack together).
+		exps = nil
 	}
 	scenarios := sweep.ScenariosFor(exps)
+	for _, tok := range splitList(f.stacks) {
+		spec, err := scenlib.Load(tok)
+		if err != nil {
+			return zero, err
+		}
+		// Inline the spec rather than referencing it by name, so a
+		// -remote server streams the identical sweep without having the
+		// file (or the library version) on its side.
+		scenarios = append(scenarios, sweep.Scenario{Stack: &sweep.StackRef{Spec: &spec}})
+	}
 	if f.grid != "" {
 		r, c, ok := strings.Cut(f.grid, "x")
 		rows, err1 := strconv.Atoi(strings.TrimSpace(r))
@@ -297,8 +316,10 @@ func buildSpec(f sweepFlags) (sweep.Spec, error) {
 		if !ok || err1 != nil || err2 != nil || rows <= 0 || cols <= 0 {
 			return zero, fmt.Errorf("bad -grid %q (want RxC, e.g. 16x16)", f.grid)
 		}
-		for _, e := range exps {
-			scenarios = append(scenarios, sweep.Scenario{Exp: e, GridRows: rows, GridCols: cols})
+		base := scenarios
+		for _, sc := range base {
+			sc.GridRows, sc.GridCols = rows, cols
+			scenarios = append(scenarios, sc)
 		}
 	}
 	if f.stress {

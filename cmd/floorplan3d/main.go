@@ -1,6 +1,7 @@
-// Command floorplan3d prints the paper's Figure 1: the four 3D stack
-// configurations (EXP-1..EXP-4) built from UltraSPARC T1 components,
-// with validation and per-core thermal susceptibility.
+// Command floorplan3d draws the builtin 3D stack configurations — the
+// paper's Figure 1 four plus the extended EXP-5/6 — or any declarative
+// StackSpec (-stack), with validation and per-core thermal
+// susceptibility.
 package main
 
 import (
@@ -8,36 +9,58 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/floorplan"
 	"repro/internal/floorplanopt"
 	"repro/internal/thermal"
+	"repro/scenarios"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("floorplan3d: ")
 
-	expFlag := flag.String("exp", "", "single experiment to draw (1..6; empty = the paper's four)")
+	expFlag := flag.String("exp", "", "single experiment to draw (1..6; empty = every builtin stack)")
+	stackFlag := flag.String("stack", "", "declarative stack to draw instead: a StackSpec JSON file or a library name ("+strings.Join(scenarios.Names(), ", ")+")")
 	widthFlag := flag.Int("width", 46, "drawing width in characters")
 	optFlag := flag.Bool("optimize", false, "run the thermally-aware tier-ordering search on each stack")
 	flag.Parse()
 
-	exps := floorplan.AllExperiments()
-	if *expFlag != "" {
-		e, err := floorplan.ParseExperiment(*expFlag)
+	var stacks []*floorplan.Stack
+	if *stackFlag != "" {
+		spec, err := scenarios.Load(*stackFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
-		exps = []floorplan.Experiment{e}
+		s, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stacks = append(stacks, s)
+	} else {
+		// The tool enumerates every builtin stack (a coverage surface,
+		// not a paper figure), so the extended roster is the right
+		// default here.
+		exps := floorplan.ExtendedExperiments()
+		if *expFlag != "" {
+			e, err := floorplan.ParseExperiment(*expFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			exps = []floorplan.Experiment{e}
+		}
+		for _, e := range exps {
+			s, err := floorplan.Build(e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stacks = append(stacks, s)
+		}
 	}
-	for _, e := range exps {
-		s, err := floorplan.Build(e)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, s := range stacks {
 		if err := s.Validate(); err != nil {
-			log.Fatalf("%v: %v", e, err)
+			log.Fatalf("%s: %v", s.Name, err)
 		}
 		fmt.Fprint(os.Stdout, floorplan.RenderStack(s, *widthFlag, 10))
 		fmt.Println("\nPer-core hot-spot susceptibility (layer + lateral position):")

@@ -104,19 +104,39 @@ func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 			return sim.Config{}, err
 		}
 		sc := j.Scenario
-		// Build the policy-construction stack with the scenario's
-		// actual interlayer physics: Adapt3D's offline thermal indices
-		// must be derived from the chip being simulated, not the
-		// nominal-bond one (the degraded-tsv stress scenario differs
-		// exactly there). Zero selects the paper's 0.23 m·K/W, same as
-		// the simulator's own default.
-		jr := sc.JointResistivityMKW
-		if jr == 0 {
-			jr = 0.23
-		}
-		stack, err := floorplan.BuildWithResistivity(sc.Exp, jr)
-		if err != nil {
+		if err := sc.CheckStack(); err != nil {
 			return sim.Config{}, err
+		}
+		// Build the policy-construction stack with the scenario's
+		// actual physics: Adapt3D's offline thermal indices must be
+		// derived from the chip being simulated, not the nominal-bond
+		// one (the degraded-tsv stress scenario differs exactly there,
+		// and declarative stacks carry arbitrary geometry). Zero
+		// selects the paper's 0.23 m·K/W, same as the simulator's own
+		// default.
+		var (
+			stack     *floorplan.Stack
+			stackSpec *floorplan.StackSpec
+		)
+		if sc.Stack != nil {
+			spec, err := sc.Stack.Resolve()
+			if err != nil {
+				return sim.Config{}, err
+			}
+			if stack, err = spec.Build(); err != nil {
+				return sim.Config{}, err
+			}
+			stackSpec = &spec
+		} else {
+			jr := sc.JointResistivityMKW
+			if jr == 0 {
+				jr = 0.23
+			}
+			var err error
+			stack, err = floorplan.BuildWithResistivity(sc.Exp, jr)
+			if err != nil {
+				return sim.Config{}, err
+			}
 		}
 		jobs, err := traces.Get(workload.GenConfig{
 			Bench:     b,
@@ -133,6 +153,7 @@ func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 		}
 		return sim.Config{
 			Exp:                 sc.Exp,
+			StackSpec:           stackSpec,
 			JointResistivityMKW: sc.JointResistivityMKW,
 			GridRows:            sc.GridRows,
 			GridCols:            sc.GridCols,
@@ -198,14 +219,14 @@ func GroupKey(j sweep.Job) string {
 	if j.Solver != thermal.SolverCached {
 		return ""
 	}
-	sc := j.Scenario
-	key, err := sim.ModelKey(sim.Config{
-		Exp:                 sc.Exp,
-		JointResistivityMKW: sc.JointResistivityMKW,
-		GridRows:            sc.GridRows,
-		GridCols:            sc.GridCols,
-		Solver:              j.Solver,
-	})
+	mc, err := modelConfig(j.Scenario)
+	if err != nil {
+		// Unresolvable stack reference: stay on the per-job path,
+		// where the runner reports the error itself.
+		return ""
+	}
+	mc.Solver = j.Solver
+	key, err := sim.ModelKey(mc)
 	if err != nil {
 		// No canonical identity (partial grid spec): stay on the
 		// per-job path, where sim.Run reports the config error itself.
@@ -214,22 +235,47 @@ func GroupKey(j sweep.Job) string {
 	return fmt.Sprintf("%s|%gs", key, j.DurationS)
 }
 
+// modelConfig translates a scenario into the thermal-model-identity
+// fields of a sim.Config — the single mapping cfgFor, GroupKey, and
+// Prewarm all build on, so grouping and prewarming can never diverge
+// from the model a run actually constructs. Declarative stacks resolve
+// to a StackSpec (keyed by content hash); builtin experiments pass
+// through as Exp + joint resistivity.
+func modelConfig(sc sweep.Scenario) (sim.Config, error) {
+	if err := sc.CheckStack(); err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		Exp:                 sc.Exp,
+		JointResistivityMKW: sc.JointResistivityMKW,
+		GridRows:            sc.GridRows,
+		GridCols:            sc.GridCols,
+	}
+	if sc.Stack != nil {
+		spec, err := sc.Stack.Resolve()
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.StackSpec = &spec
+	}
+	return cfg, nil
+}
+
 // Prewarm factors every cached-solver scenario's thermal systems into
 // the shared factorization cache before a worker pool starts, so the
 // workers don't all block on the first run per stack.
 func Prewarm(spec sweep.Spec) error {
 	for _, sc := range spec.Scenarios {
+		mc, err := modelConfig(sc)
+		if err != nil {
+			return fmt.Errorf("exp: prewarm %s: %w", sc.ID(), err)
+		}
 		for _, solver := range spec.Solvers {
 			for _, dur := range spec.DurationsS {
-				err := sim.Prewarm(sim.Config{
-					Exp:                 sc.Exp,
-					JointResistivityMKW: sc.JointResistivityMKW,
-					GridRows:            sc.GridRows,
-					GridCols:            sc.GridCols,
-					DurationS:           dur,
-					Solver:              solver,
-				})
-				if err != nil {
+				cfg := mc
+				cfg.DurationS = dur
+				cfg.Solver = solver
+				if err := sim.Prewarm(cfg); err != nil {
 					return fmt.Errorf("exp: prewarm %s: %w", sc.ID(), err)
 				}
 			}

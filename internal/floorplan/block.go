@@ -49,6 +49,15 @@ type Block struct {
 	// L2ID numbers L2 banks consecutively across the stack and is -1
 	// for non-L2 blocks.
 	L2ID int
+
+	// FreqScale scales the effective clock delivered to this core at
+	// every DVFS level (heterogeneous big.LITTLE-style tiers). finish()
+	// defaults 0 to 1, so homogeneous stacks are bitwise-unchanged.
+	// Meaningful only on KindCore blocks.
+	FreqScale float64
+	// PowerScale scales this core's dynamic power draw the same way.
+	// finish() defaults 0 to 1. Meaningful only on KindCore blocks.
+	PowerScale float64
 }
 
 // Area returns the block area in mm².

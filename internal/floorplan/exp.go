@@ -64,11 +64,19 @@ func (e *Experiment) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// AllExperiments lists the paper's four configurations in paper order.
+// AllExperiments lists the paper's four configurations (Fig. 1) in
+// paper order. Use it wherever the output must match the paper —
+// figure/table regeneration, benchmark baselines pinned against the
+// published results, and sweep defaults that reproduce Figure 3. It
+// deliberately excludes EXP-5/6; callers that mean "every builtin
+// stack" must use ExtendedExperiments.
 func AllExperiments() []Experiment { return []Experiment{EXP1, EXP2, EXP3, EXP4} }
 
-// ExtendedExperiments lists the full scenario space: the paper's four
-// stacks plus the sweep-extension variants EXP5 and EXP6.
+// ExtendedExperiments lists the full builtin scenario space: the
+// paper's four stacks plus the sweep-extension variants EXP5 and EXP6.
+// Use it for coverage-style iteration (validation, tooling that
+// enumerates every builtin stack, exploratory sweeps); use
+// AllExperiments where paper parity is the point.
 func ExtendedExperiments() []Experiment {
 	return []Experiment{EXP1, EXP2, EXP3, EXP4, EXP5, EXP6}
 }
@@ -124,75 +132,20 @@ func Build(e Experiment) (*Stack, error) {
 }
 
 // BuildWithResistivity constructs the stack for the experiment with an
-// explicit joint interlayer resistivity (m·K/W).
+// explicit joint interlayer resistivity (m·K/W). The experiment is
+// expressed as a declarative StackSpec (SpecForExperiment) and built
+// through the same path as user-defined stacks — EXP-1..6 are just the
+// shipped entries of the scenario vocabulary.
 func BuildWithResistivity(e Experiment, jointResistivity float64) (*Stack, error) {
 	if jointResistivity <= 0 {
 		return nil, fmt.Errorf("floorplan: joint resistivity must be positive, got %g", jointResistivity)
 	}
-	s := &Stack{
-		Name:                     e.String(),
-		InterlayerResistivityMKW: jointResistivity,
-		InterlayerThicknessMM:    InterlayerThicknessMM,
-	}
-	switch e {
-	case EXP1:
-		// The memory layer bonds to the package/heat-sink side; the
-		// logic layer sits on the far side. This is the conventional
-		// orientation for logic-plus-memory stacks (the logic die faces
-		// the substrate for I/O), and it is what makes the separated
-		// design thermally challenging: every core is in the
-		// poorly-cooled position (Section IV-A).
-		s.Layers = []*Layer{
-			memoryLayer(0, 0),
-			coreLayer(1, 0),
-		}
-	case EXP2:
-		s.Layers = []*Layer{
-			mixedLayer(0, 0, 0),
-			mixedLayer(1, 4, 2),
-		}
-	case EXP3:
-		s.Layers = []*Layer{
-			memoryLayer(0, 0),
-			coreLayer(1, 0),
-			memoryLayer(2, 4),
-			coreLayer(3, 8),
-		}
-	case EXP4:
-		s.Layers = []*Layer{
-			mixedLayer(0, 0, 0),
-			mixedLayer(1, 4, 2),
-			mixedLayer(2, 8, 4),
-			mixedLayer(3, 12, 6),
-		}
-	case EXP5:
-		// EXP3 with each tier pair flipped: logic bonds to the cooler,
-		// sink-facing position.
-		s.Layers = []*Layer{
-			coreLayer(0, 0),
-			memoryLayer(1, 0),
-			coreLayer(2, 8),
-			memoryLayer(3, 4),
-		}
-	case EXP6:
-		s.Layers = []*Layer{
-			memoryLayer(0, 0),
-			coreLayer(1, 0),
-			memoryLayer(2, 4),
-			coreLayer(3, 8),
-			memoryLayer(4, 8),
-			coreLayer(5, 16),
-		}
-	default:
-		return nil, fmt.Errorf("floorplan: unknown experiment %d", int(e))
-	}
-	if err := s.finish(); err != nil {
+	spec, err := SpecForExperiment(e)
+	if err != nil {
 		return nil, err
 	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	spec.InterlayerResistivityMKW = jointResistivity
+	return spec.Build()
 }
 
 // MustBuild is Build for statically known experiments; it panics on error.

@@ -146,7 +146,7 @@ func TestEXP3AlternatesCoreAndMemoryLayers(t *testing.T) {
 }
 
 func TestCoreIDsAreDenseAndUnique(t *testing.T) {
-	for _, e := range AllExperiments() {
+	for _, e := range ExtendedExperiments() {
 		s := MustBuild(e)
 		seen := make(map[int]bool)
 		for _, c := range s.Cores() {

@@ -1,0 +1,81 @@
+package floorplan_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// FuzzParseStackSpec fuzzes the declarative stack parser end to end:
+// arbitrary bytes must never panic, and any document the parser
+// accepts must build a finite, solvable SPD thermal system — the
+// contract the sweep server relies on when it admits operator-supplied
+// specs.
+func FuzzParseStackSpec(f *testing.F) {
+	// Seed with the shipped scenario library plus handwritten documents
+	// covering every spec feature (templates, explicit blocks, TSVs,
+	// per-interface overrides, coolant tables, scales).
+	libFiles, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(libFiles) == 0 {
+		f.Fatal("scenario library not found; fuzz seeds depend on it")
+	}
+	for _, path := range libFiles {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"layers": [{"template": "cores"}]}`))
+	f.Add([]byte(`{"name": "x", "tsvs_per_interface": 256, "layers": [{"template": "memory"}, {"template": "cores", "freq_scale": 0.5, "power_scale": 0.3}]}`))
+	f.Add([]byte(`{"layers": [{"blocks": [{"name": "c", "kind": "core", "x": 0, "y": 0, "w": 11.5, "h": 10}]}]}`))
+	f.Add([]byte(`{"interlayer_resistivity_mkw": 0.1, "layers": [{"template": "mixed"}, {"template": "mixed", "thickness_mm": 0.3}], "interfaces": [{"coolant": {"htc_table": [[40, 8000], [80, 12000]], "design_temp_c": 55}}]}`))
+	f.Add([]byte(`{"layers": []}`))
+	f.Add([]byte(`{"layers": [{"template": "gpu"}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := floorplan.ParseStackSpec(data)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		// Accepted specs must hash deterministically (job-key identity)...
+		if h := spec.Hash(); h != spec.Hash() || len(h) != 12 {
+			t.Fatalf("unstable or malformed hash %q", spec.Hash())
+		}
+		// ...and either build a valid stack or fail cleanly on geometry.
+		st, err := spec.Build()
+		if err != nil {
+			return
+		}
+		// Cap the thermal solve: a parser-accepted spec with thousands of
+		// blocks is legitimate but too slow to factor per fuzz input.
+		if spec.NumBlocks() > 256 || spec.NumLayers() > 8 {
+			return
+		}
+		m, err := thermal.NewBlockModel(st, thermal.DefaultParams())
+		if err != nil {
+			t.Fatalf("accepted spec built a stack the thermal model rejects: %v", err)
+		}
+		pw := make([]float64, st.NumBlocks())
+		for i := range pw {
+			pw[i] = 1
+		}
+		temps, err := m.SteadyState(pw)
+		if err != nil {
+			t.Fatalf("accepted spec is not solvable: %v", err)
+		}
+		for i, v := range temps {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite steady-state temperature %g at node %d", v, i)
+			}
+		}
+	})
+}

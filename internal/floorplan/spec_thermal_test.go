@@ -1,0 +1,111 @@
+// Physics-level checks of the declarative spec path that need the
+// thermal package (which imports floorplan, hence the external test
+// package).
+package floorplan_test
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// TestSpecTSVModelCrossCheck pins the TSV constants duplicated in
+// floorplan (base 0.25 m·K/W, copper 0.0025, 10 µm vias over 115 mm²)
+// against thermal.TSVModel, the Figure 2 reference implementation: a
+// spec deriving its resistivity from a via count must land exactly on
+// the thermal model's value for every count.
+func TestSpecTSVModelCrossCheck(t *testing.T) {
+	ref := thermal.NewTSVModel()
+	for _, n := range []int{1, 64, 512, 1024, 4096, 1 << 15, 1 << 22, 1 << 30} {
+		spec := floorplan.StackSpec{
+			TSVsPerInterface: n,
+			Layers:           []floorplan.LayerSpec{{Template: "memory"}, {Template: "cores"}},
+		}
+		st, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%d vias: %v", n, err)
+		}
+		if want := ref.JointResistivity(n); st.InterlayerResistivityMKW != want {
+			t.Errorf("%d vias: spec derives %g m·K/W, thermal.TSVModel says %g — duplicated constants diverged",
+				n, st.InterlayerResistivityMKW, want)
+		}
+	}
+}
+
+// TestMicrofluidicCoolingLowersTemps verifies the linearized coolant
+// model does what interlayer liquid cooling must: strictly lower every
+// steady-state temperature versus the identical stack without the
+// coolant, with the hottest nodes benefiting, while the system stays
+// solvable (SPD) in both block and grid mode.
+func TestMicrofluidicCoolingLowersTemps(t *testing.T) {
+	layers := []floorplan.LayerSpec{
+		{Template: "memory"}, {Template: "cores"}, {Template: "memory"}, {Template: "cores"},
+	}
+	dry := floorplan.StackSpec{Name: "dry", Layers: layers}
+	wet := floorplan.StackSpec{
+		Name:   "wet",
+		Layers: layers,
+		Interfaces: []floorplan.InterfaceSpec{
+			{},
+			{Coolant: &floorplan.CoolantSpec{HTCTable: [][2]float64{{40, 8000}, {60, 9500}, {80, 11000}}}},
+			{},
+		},
+	}
+	solve := func(spec floorplan.StackSpec) []float64 {
+		t.Helper()
+		st, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := thermal.NewBlockModel(st, thermal.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw := make([]float64, st.NumBlocks())
+		for _, b := range st.Cores() {
+			pw[st.BlockIndex(b)] = 3 // W, a busy core
+		}
+		temps, err := m.SteadyState(pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.BlockTemps(temps)
+	}
+	dryT, wetT := solve(dry), solve(wet)
+	if len(dryT) != len(wetT) {
+		t.Fatalf("block counts diverged: %d vs %d", len(dryT), len(wetT))
+	}
+	maxDry, maxWet := dryT[0], wetT[0]
+	for i := range dryT {
+		if wetT[i] >= dryT[i] {
+			t.Errorf("block %d: coolant did not lower temperature (%.3f → %.3f °C)", i, dryT[i], wetT[i])
+		}
+		if dryT[i] > maxDry {
+			maxDry = dryT[i]
+		}
+		if wetT[i] > maxWet {
+			maxWet = wetT[i]
+		}
+	}
+	if maxWet >= maxDry-1 {
+		t.Errorf("peak temperature barely moved: %.2f °C dry vs %.2f °C cooled", maxDry, maxWet)
+	}
+
+	// Grid mode must stamp the same coolant and stay solvable too.
+	st, err := wet.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := thermal.NewGridModel(st, thermal.DefaultParams(), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := make([]float64, st.NumBlocks())
+	for _, b := range st.Cores() {
+		pw[st.BlockIndex(b)] = 3
+	}
+	if _, err := gm.SteadyState(pw); err != nil {
+		t.Fatalf("grid model with coolant not solvable: %v", err)
+	}
+}

@@ -68,9 +68,54 @@ type Stack struct {
 	// InterlayerThicknessMM is the interface material thickness in mm.
 	InterlayerThicknessMM float64
 
+	// Interfaces optionally overrides the bonding interface between
+	// consecutive layers (entry i sits between layers i and i+1; length
+	// NumLayers-1 when set). Nil means every interface uses the uniform
+	// stack-level resistivity and thickness above — the paper's
+	// configuration. Built from StackSpec.Interfaces.
+	Interfaces []InterfaceProps
+
 	blocks []*Block // flattened, cached
 	cores  []*Block // CoreID-indexed, cached
 	l2s    []*Block // L2ID-indexed, cached
+}
+
+// InterfaceProps are the resolved physical properties of one bonding
+// interface between adjacent silicon layers.
+type InterfaceProps struct {
+	// ResistivityMKW is the joint interface-material resistivity, m·K/W.
+	ResistivityMKW float64
+	// ThicknessMM is the interface material thickness, mm.
+	ThicknessMM float64
+	// CoolantHTCWm2K, when positive, models an interlayer microfluidic
+	// channel in this interface: the facing surfaces of both adjacent
+	// layers couple to coolant held at ambient with this heat transfer
+	// coefficient (W/(m²·K)), linearized so the system stays SPD.
+	CoolantHTCWm2K float64
+}
+
+// Interface returns the resolved properties of the bonding interface
+// between layers i and i+1, falling back to the uniform stack-level
+// values. The fallbacks return the stack fields unmodified, so legacy
+// uniform stacks produce bitwise-identical thermal matrices through
+// this accessor.
+func (s *Stack) Interface(i int) InterfaceProps {
+	p := InterfaceProps{
+		ResistivityMKW: s.InterlayerResistivityMKW,
+		ThicknessMM:    s.InterlayerThicknessMM,
+	}
+	if i < 0 || i >= len(s.Interfaces) {
+		return p
+	}
+	o := s.Interfaces[i]
+	if o.ResistivityMKW > 0 {
+		p.ResistivityMKW = o.ResistivityMKW
+	}
+	if o.ThicknessMM > 0 {
+		p.ThicknessMM = o.ThicknessMM
+	}
+	p.CoolantHTCWm2K = o.CoolantHTCWm2K
+	return p
 }
 
 // finish flattens and indexes the stack's blocks; builders call it once.
@@ -80,6 +125,12 @@ func (s *Stack) finish() error {
 	for _, l := range s.Layers {
 		for _, b := range l.Blocks {
 			s.blocks = append(s.blocks, b)
+			if b.FreqScale == 0 {
+				b.FreqScale = 1
+			}
+			if b.PowerScale == 0 {
+				b.PowerScale = 1
+			}
 			if b.IsCore() {
 				numCores++
 			}
@@ -185,6 +236,10 @@ func (s *Stack) HotSusceptibility(coreID int) float64 {
 func (s *Stack) Validate() error {
 	if len(s.Layers) == 0 {
 		return fmt.Errorf("floorplan: stack %q has no layers", s.Name)
+	}
+	if len(s.Interfaces) > 0 && len(s.Interfaces) != len(s.Layers)-1 {
+		return fmt.Errorf("floorplan: stack %q has %d interface overrides for %d layers (want %d)",
+			s.Name, len(s.Interfaces), len(s.Layers), len(s.Layers)-1)
 	}
 	for li, l := range s.Layers {
 		if l.Index != li {

@@ -162,7 +162,11 @@ func (m Model) ComputeInto(dst []float64, stack *floorplan.Stack, in ChipInput) 
 		switch b.Kind {
 		case floorplan.KindCore:
 			ci := in.Cores[b.CoreID]
-			p = m.Core.Power(m.DVFS, ci.State, ci.Level, ci.Util)
+			// PowerScale models heterogeneous tiers (smaller/simpler
+			// cores draw proportionally less dynamic power); it is
+			// exactly 1.0 for homogeneous stacks, which multiplies to
+			// bitwise-identical float64s.
+			p = m.Core.Power(m.DVFS, ci.State, ci.Level, ci.Util) * b.PowerScale
 			volt = m.DVFS.VoltScale(ci.Level)
 			if ci.State == StateSleep {
 				volt = 0.3 // power-gated rail retains only a keeper voltage

@@ -311,11 +311,23 @@ const (
 	maxGridCells = 128 * 128
 	// maxDurationS caps one job's simulated time (one simulated week).
 	maxDurationS = 7 * 24 * 3600
+	// maxSpecLayers / maxSpecBlocks cap a declarative stack BEFORE it
+	// is built: layer and block counts are computable from the spec
+	// alone (template expansion is a fixed count per template), so an
+	// inline spec declaring thousands of tiers is rejected without
+	// allocating its geometry, matrices, or factorization. The ceilings
+	// sit far above the library (EXP-6 is 6 layers, 48 blocks) while
+	// bounding the thermal system to roughly the size a maximal grid
+	// request could already demand.
+	maxSpecLayers = 16
+	maxSpecBlocks = 4096
 )
 
 // defaultValidateJob vets a job against the simulator's actual
-// vocabulary and the resource limits above, cheaply (no thermal model
-// is built).
+// vocabulary and the resource limits above, cheaply (builtin
+// experiments build no thermal model; declarative stacks are
+// size-gated from the spec and then built once in block mode, which
+// also proves the geometry validates).
 func defaultValidateJob(j sweep.Job) error {
 	if !exp.KnownPolicy(j.Policy) {
 		return fmt.Errorf("unknown policy %q", j.Policy)
@@ -323,7 +335,24 @@ func defaultValidateJob(j sweep.Job) error {
 	if _, err := workload.ByName(j.Bench); err != nil {
 		return fmt.Errorf("unknown benchmark %q", j.Bench)
 	}
-	if _, err := floorplan.Build(j.Scenario.Exp); err != nil {
+	if err := j.Scenario.CheckStack(); err != nil {
+		return err
+	}
+	if st := j.Scenario.Stack; st != nil {
+		spec, err := st.Resolve()
+		if err != nil {
+			return err
+		}
+		if n := spec.NumLayers(); n > maxSpecLayers {
+			return fmt.Errorf("scenario %s: %d layers exceeds the %d-layer limit", j.Scenario.ID(), n, maxSpecLayers)
+		}
+		if n := spec.NumBlocks(); n > maxSpecBlocks {
+			return fmt.Errorf("scenario %s: %d blocks exceeds the %d-block limit", j.Scenario.ID(), n, maxSpecBlocks)
+		}
+		if _, err := spec.Build(); err != nil {
+			return fmt.Errorf("scenario %s: %v", j.Scenario.ID(), err)
+		}
+	} else if _, err := floorplan.Build(j.Scenario.Exp); err != nil {
 		return fmt.Errorf("scenario %s: %v", j.Scenario.ID(), err)
 	}
 	if j.DurationS <= 0 || j.DurationS > maxDurationS {

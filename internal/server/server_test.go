@@ -687,3 +687,83 @@ func TestEndpointsAndStop(t *testing.T) {
 		t.Errorf("sweep after Stop: %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestStackScenarioValidation walks the declarative-stack admission
+// paths: valid inline and registered-name scenarios are accepted, while
+// selector conflicts, unknown names, pre-expansion size-gate breaches,
+// and specs with broken geometry are all refused before any job runs.
+func TestStackScenarioValidation(t *testing.T) {
+	s := New(Config{Workers: 1, Runner: newFakeRunner().run})
+	defer s.Stop()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	inline := &floorplan.StackSpec{
+		Name:   "served-inline",
+		Layers: []floorplan.LayerSpec{{Template: "memory"}, {Template: "cores"}},
+	}
+	registered := floorplan.StackSpec{
+		Name:   "served-registered",
+		Layers: []floorplan.LayerSpec{{Template: "mixed"}, {Template: "mixed"}},
+	}
+	if err := floorplan.RegisterStackSpec(registered); err != nil {
+		t.Fatal(err)
+	}
+
+	// An inline spec whose block count passes the per-block validation
+	// but breaches the pre-expansion size gate: one layer, 4097 thin
+	// explicit blocks.
+	tooManyBlocks := &floorplan.StackSpec{Name: "too-many-blocks"}
+	var blocks []floorplan.BlockSpec
+	for i := 0; i < maxSpecBlocks+1; i++ {
+		blocks = append(blocks, floorplan.BlockSpec{
+			Name: fmt.Sprintf("b%d", i), Kind: "other",
+			X: float64(i) * 0.001, Y: 0, W: 0.001, H: 10,
+		})
+	}
+	tooManyBlocks.Layers = []floorplan.LayerSpec{{Blocks: blocks}}
+
+	tooManyLayers := &floorplan.StackSpec{Name: "too-many-layers"}
+	for i := 0; i <= maxSpecLayers; i++ {
+		tooManyLayers.Layers = append(tooManyLayers.Layers, floorplan.LayerSpec{Template: "memory"})
+	}
+
+	// Declaratively valid, geometrically broken: one block that does
+	// not tile the die. Caught by the Build step of the validator.
+	badGeometry := &floorplan.StackSpec{
+		Name:   "bad-geometry",
+		Layers: []floorplan.LayerSpec{{Blocks: []floorplan.BlockSpec{{Name: "b", Kind: "core", W: 1, H: 1}}}},
+	}
+
+	specFor := func(sc sweep.Scenario) sweep.Spec {
+		return sweep.Spec{
+			Scenarios:  []sweep.Scenario{sc},
+			Policies:   []string{"Default"},
+			Benchmarks: []string{"Web-med"},
+			DurationsS: []float64{1},
+		}
+	}
+	cases := []struct {
+		name string
+		sc   sweep.Scenario
+		code int
+	}{
+		{"inline ok", sweep.Scenario{Stack: &sweep.StackRef{Spec: inline}}, http.StatusOK},
+		{"registered ok", sweep.Scenario{Stack: &sweep.StackRef{Name: "served-registered"}}, http.StatusOK},
+		{"inline grid ok", sweep.Scenario{Stack: &sweep.StackRef{Spec: inline}, GridRows: 8, GridCols: 8}, http.StatusOK},
+		{"exp and stack", sweep.Scenario{Exp: floorplan.EXP1, Stack: &sweep.StackRef{Spec: inline}}, http.StatusBadRequest},
+		{"jr on stack", sweep.Scenario{Stack: &sweep.StackRef{Spec: inline}, JointResistivityMKW: 0.1}, http.StatusBadRequest},
+		{"unknown name", sweep.Scenario{Stack: &sweep.StackRef{Name: "never-registered"}}, http.StatusBadRequest},
+		{"block gate", sweep.Scenario{Stack: &sweep.StackRef{Spec: tooManyBlocks}}, http.StatusBadRequest},
+		{"layer gate", sweep.Scenario{Stack: &sweep.StackRef{Spec: tooManyLayers}}, http.StatusBadRequest},
+		{"bad geometry", sweep.Scenario{Stack: &sweep.StackRef{Spec: badGeometry}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postSweep(t, ts, SweepRequest{Spec: specFor(tc.sc)}, "")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+}

@@ -14,9 +14,9 @@ import (
 func TestRunCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Run(Config{Policy: policy.NewDefault(), DurationS: 30, Ctx: ctx})
+	_, err := RunContext(ctx, Config{Policy: policy.NewDefault(), DurationS: 30})
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("Run with canceled ctx: err = %v, want context.Canceled", err)
+		t.Fatalf("RunContext with canceled ctx: err = %v, want context.Canceled", err)
 	}
 }
 
@@ -29,9 +29,8 @@ func TestRunLiveContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	withCtx := base
-	withCtx.Ctx = context.Background()
 	withCtx.Policy = policy.NewDefault()
-	got, err := Run(withCtx)
+	got, err := RunContext(context.Background(), withCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

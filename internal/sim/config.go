@@ -16,8 +16,16 @@ import (
 type Config struct {
 	// Exp selects the 3D configuration (EXP-1..EXP-4).
 	Exp floorplan.Experiment
+	// StackSpec, when non-nil, overrides Exp with a declarative stack
+	// description built through floorplan.StackSpec.Build — the same
+	// path the EXP configurations use. Unlike CustomStack, a spec has
+	// canonical identity (its content hash), so ModelKey, sweep
+	// batching, and the factorization cache all work for it. Mutually
+	// exclusive with CustomStack.
+	StackSpec *floorplan.StackSpec
 	// CustomStack, when non-nil, overrides Exp with a caller-built
-	// floorplan stack (it must pass Validate).
+	// floorplan stack (it must pass Validate). Prefer StackSpec, which
+	// participates in model-identity keying.
 	CustomStack *floorplan.Stack
 	// JointResistivityMKW is the TSV-adjusted interlayer resistivity;
 	// 0 selects the paper's 0.23 m·K/W.
@@ -135,6 +143,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if (c.GridRows > 0) != (c.GridCols > 0) {
 		return c, fmt.Errorf("sim: partial grid spec %dx%d: set both GridRows and GridCols (grid mode) or neither (block mode)", c.GridRows, c.GridCols)
+	}
+	if c.StackSpec != nil && c.CustomStack != nil {
+		return c, fmt.Errorf("sim: set StackSpec or CustomStack, not both")
 	}
 	if c.Exp == 0 {
 		c.Exp = floorplan.EXP1

@@ -57,14 +57,23 @@ type Result struct {
 // factorization is guaranteed to match the one Run would build.
 func buildThermal(cfg Config) (*floorplan.Stack, *thermal.Model, error) {
 	stack := cfg.CustomStack
-	if stack == nil {
+	switch {
+	case cfg.StackSpec != nil:
+		var err error
+		stack, err = cfg.StackSpec.Build()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: stack spec invalid: %w", err)
+		}
+	case stack == nil:
 		var err error
 		stack, err = floorplan.BuildWithResistivity(cfg.Exp, cfg.JointResistivityMKW)
 		if err != nil {
 			return nil, nil, err
 		}
-	} else if err := stack.Finalize(); err != nil {
-		return nil, nil, fmt.Errorf("sim: custom stack invalid: %w", err)
+	default:
+		if err := stack.Finalize(); err != nil {
+			return nil, nil, fmt.Errorf("sim: custom stack invalid: %w", err)
+		}
 	}
 	var (
 		model *thermal.Model
@@ -216,6 +225,12 @@ type Engine struct {
 	view policy.View
 	done <-chan struct{}
 
+	// freqScale caches each core's floorplan FreqScale (1 for
+	// homogeneous stacks, <1 for "LITTLE" tiers of heterogeneous
+	// spec-built stacks); immutable per run, so snapshots need not
+	// capture it.
+	freqScale []float64
+
 	// Per-tick scratch, reused across every tick.
 	states     []power.CoreState
 	levels     []power.VfLevel
@@ -342,6 +357,8 @@ func newEngine(cfg Config) (*Engine, error) {
 		nTicks:  tickCount(cfg.DurationS, cfg.TickS),
 		n:       n,
 
+		freqScale: make([]float64, n),
+
 		states:     make([]power.CoreState, n),
 		levels:     make([]power.VfLevel, n),
 		utils:      make([]float64, n),
@@ -358,6 +375,9 @@ func newEngine(cfg Config) (*Engine, error) {
 	}
 	for c := range e.states {
 		e.states[c] = power.StateIdle
+	}
+	for c, b := range stack.Cores() {
+		e.freqScale[c] = b.FreqScale
 	}
 
 	// Initialize the thermal state with the steady-state temperatures of
@@ -600,7 +620,9 @@ func (e *Engine) tickPre(tick int) error {
 		case e.gated[c], e.sleeping[c]:
 			e.speeds[c] = 0
 		default:
-			e.speeds[c] = cfg.Power.DVFS.FreqScale(e.levels[c])
+			// e.freqScale is exactly 1.0 on homogeneous stacks, which
+			// multiplies to a bitwise-identical float64.
+			e.speeds[c] = cfg.Power.DVFS.FreqScale(e.levels[c]) * e.freqScale[c]
 		}
 		if e.gated[c] {
 			e.res.GatedTicks++

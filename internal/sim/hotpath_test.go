@@ -155,7 +155,7 @@ func TestTickLoopAllocationContract(t *testing.T) {
 		{"DVFS_Rel+lifetime", policy.NewDVFSRel(), true},
 	} {
 		t.Run(pc.name, func(t *testing.T) {
-			// A representative OnTemps consumer (fold, don't retain)
+			// A representative temperature observer (fold, don't retain)
 			// rides along: the observation hook must not cost the
 			// contract anything either.
 			sum := 0.0
@@ -164,9 +164,9 @@ func TestTickLoopAllocationContract(t *testing.T) {
 				DurationS:     1800,
 				Seed:          1,
 				TrackLifetime: pc.lifetime,
-				OnTemps: func(blockTempsC, coreTempsC []float64) {
+				Observer: FuncObserver{Temps: func(blockTempsC, coreTempsC []float64) {
 					sum += blockTempsC[0] + coreTempsC[0]
-				},
+				}},
 			})
 			tick := 0
 			// Warm up: drain arrival dispatch and policy lazy init.
@@ -185,42 +185,42 @@ func TestTickLoopAllocationContract(t *testing.T) {
 				t.Errorf("steady-state tick averages %.2f allocs, want <= 2", avg)
 			}
 			if sum == 0 {
-				t.Error("OnTemps hook never observed a temperature")
+				t.Error("temperature observer never observed a temperature")
 			}
 		})
 	}
 }
 
-// TestOnTempsHook pins the observation hook's contract: it fires once
-// per completed tick with the block- and core-width temperature
-// vectors of that tick, and the final observation matches the run's
-// reported final state.
-func TestOnTempsHook(t *testing.T) {
+// TestObserveTempsHook pins the observation contract: ObserveTemps
+// fires once per completed tick with the block- and core-width
+// temperature vectors of that tick, and the final observation matches
+// the run's reported final state.
+func TestObserveTempsHook(t *testing.T) {
 	calls := 0
 	var lastBlocks, lastCores []float64
 	cfg := shortCfg(t, policy.NewDefault())
-	cfg.OnTemps = func(blockTempsC, coreTempsC []float64) {
+	cfg.Observer = FuncObserver{Temps: func(blockTempsC, coreTempsC []float64) {
 		calls++
 		// Fold into caller state (the documented pattern); the slices
 		// themselves are engine-owned and must not be retained, so
 		// copy what the assertion needs.
 		lastBlocks = append(lastBlocks[:0], blockTempsC...)
 		lastCores = append(lastCores[:0], coreTempsC...)
-	}
+	}}
 	cfg.TrackLifetime = true
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if calls != res.Ticks {
-		t.Errorf("OnTemps fired %d times over %d ticks", calls, res.Ticks)
+		t.Errorf("ObserveTemps fired %d times over %d ticks", calls, res.Ticks)
 	}
 	if len(lastBlocks) != len(res.FinalBlockTempsC) {
-		t.Fatalf("OnTemps block width %d, want %d", len(lastBlocks), len(res.FinalBlockTempsC))
+		t.Fatalf("ObserveTemps block width %d, want %d", len(lastBlocks), len(res.FinalBlockTempsC))
 	}
 	for i := range lastBlocks {
 		if lastBlocks[i] != res.FinalBlockTempsC[i] {
-			t.Fatalf("last OnTemps observation differs from final block temps at %d: %g vs %g",
+			t.Fatalf("last ObserveTemps observation differs from final block temps at %d: %g vs %g",
 				i, lastBlocks[i], res.FinalBlockTempsC[i])
 		}
 	}

@@ -16,30 +16,41 @@ import (
 // would not use.
 //
 // Zero-valued fields resolve to the same defaults withDefaults
-// applies. It errors on configs with no canonical identity: a custom
-// stack (caller-built geometry is not comparable by value) or a
-// partial grid spec (exactly one of GridRows/GridCols positive — the
-// silent block-mode fallback this helper exists to prevent).
+// applies. Declarative stacks (Config.StackSpec) key on the spec's
+// content hash — any spec field that changes the built system changes
+// the hash — so spec-built runs batch and prewarm exactly like the
+// builtin experiments. It errors on configs with no canonical
+// identity: a custom stack (caller-built geometry is not comparable by
+// value; express it as a StackSpec instead) or a partial grid spec
+// (exactly one of GridRows/GridCols positive — the silent block-mode
+// fallback this helper exists to prevent).
 func ModelKey(cfg Config) (string, error) {
 	if cfg.CustomStack != nil {
-		return "", fmt.Errorf("sim: custom stacks have no canonical model key")
+		return "", fmt.Errorf("sim: custom stacks have no canonical model key (use Config.StackSpec)")
 	}
 	if (cfg.GridRows > 0) != (cfg.GridCols > 0) {
 		return "", fmt.Errorf("sim: partial grid spec %dx%d: set both GridRows and GridCols or neither", cfg.GridRows, cfg.GridCols)
-	}
-	exp := cfg.Exp
-	if exp == 0 {
-		exp = floorplan.EXP1
-	}
-	jr := cfg.JointResistivityMKW
-	if jr == 0 {
-		jr = 0.23
 	}
 	tick := cfg.TickS
 	if tick == 0 {
 		tick = 0.1
 	}
-	key := fmt.Sprintf("%s|jr%g|tick%gs|solver%d", exp, jr, tick, int(cfg.Solver))
+	var key string
+	if cfg.StackSpec != nil {
+		// The hash covers every spec field including interlayer
+		// resistivity, so jr does not appear separately.
+		key = fmt.Sprintf("stack:%s|tick%gs|solver%d", cfg.StackSpec.Hash(), tick, int(cfg.Solver))
+	} else {
+		exp := cfg.Exp
+		if exp == 0 {
+			exp = floorplan.EXP1
+		}
+		jr := cfg.JointResistivityMKW
+		if jr == 0 {
+			jr = 0.23
+		}
+		key = fmt.Sprintf("%s|jr%g|tick%gs|solver%d", exp, jr, tick, int(cfg.Solver))
+	}
 	if cfg.GridRows > 0 {
 		key = fmt.Sprintf("%s|grid%dx%d", key, cfg.GridRows, cfg.GridCols)
 	}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/thermal"
+)
+
+// TestModelKey pins the canonical thermal-identity keys that sweep
+// grouping and prewarming batch on: builtin experiments key on
+// exp/jr/tick/solver, declarative stacks on the spec's content hash,
+// and the two namespaces never intersect.
+func TestModelKey(t *testing.T) {
+	key := func(cfg Config) string {
+		t.Helper()
+		k, err := ModelKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	// Zero-valued fields resolve to the run defaults.
+	if got, want := key(Config{}), key(Config{Exp: floorplan.EXP1, JointResistivityMKW: 0.23, TickS: 0.1}); got != want {
+		t.Errorf("zero config key %q != defaulted key %q", got, want)
+	}
+	if key(Config{Exp: floorplan.EXP3}) == key(Config{Exp: floorplan.EXP4}) {
+		t.Error("different experiments share a key")
+	}
+	if key(Config{}) == key(Config{Solver: thermal.SolverDense}) {
+		t.Error("solver path not part of the key")
+	}
+	if key(Config{}) == key(Config{GridRows: 8, GridCols: 8}) {
+		t.Error("grid discretization not part of the key")
+	}
+
+	spec := &floorplan.StackSpec{Name: "mk", Layers: []floorplan.LayerSpec{{Template: "memory"}, {Template: "cores"}}}
+	specKey := key(Config{StackSpec: spec})
+	if want := fmt.Sprintf("stack:%s|tick0.1s|solver0", spec.Hash()); specKey != want {
+		t.Errorf("spec key %q, want %q", specKey, want)
+	}
+	changed := *spec
+	changed.Layers = []floorplan.LayerSpec{{Template: "memory"}, {Template: "cores", FreqScale: 0.7}}
+	if key(Config{StackSpec: &changed}) == specKey {
+		t.Error("spec content change did not change the key")
+	}
+	if !strings.Contains(key(Config{StackSpec: spec, GridRows: 4, GridCols: 4}), "|grid4x4") {
+		t.Error("grid suffix missing from spec keys")
+	}
+	for _, e := range floorplan.ExtendedExperiments() {
+		if strings.HasPrefix(key(Config{Exp: e}), "stack:") {
+			t.Errorf("%v key collides with the stack namespace", e)
+		}
+	}
+
+	// Configs with no canonical identity must error, not silently alias.
+	if _, err := ModelKey(Config{CustomStack: floorplan.MustBuild(floorplan.EXP1)}); err == nil {
+		t.Error("custom stack produced a model key")
+	}
+	if _, err := ModelKey(Config{GridRows: 8}); err == nil {
+		t.Error("partial grid spec produced a model key")
+	}
+}
+
+// TestRunStackSpec runs the engine end to end from a declarative spec
+// and checks the spec path and the equivalent builtin path agree
+// exactly (the byte-identity contract, observed through the engine).
+func TestRunStackSpec(t *testing.T) {
+	spec, err := floorplan.SpecForExperiment(floorplan.EXP2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg(t, policy.NewDefault())
+	cfg.Exp = 0
+	cfg.StackSpec = &spec
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := shortCfg(t, policy.NewDefault())
+	ref.Exp = floorplan.EXP2
+	want, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EnergyJ != want.EnergyJ || got.Metrics.MaxTempC != want.Metrics.MaxTempC || got.Ticks != want.Ticks {
+		t.Errorf("spec-built run diverged from builtin EXP-2: energy %g vs %g, maxT %g vs %g",
+			got.EnergyJ, want.EnergyJ, got.Metrics.MaxTempC, want.Metrics.MaxTempC)
+	}
+
+	// Both selectors at once is a config error.
+	bad := shortCfg(t, policy.NewDefault())
+	bad.StackSpec = &spec
+	bad.CustomStack = floorplan.MustBuild(floorplan.EXP1)
+	if _, err := Run(bad); err == nil {
+		t.Error("StackSpec+CustomStack config ran")
+	}
+
+	// An invalid spec fails at engine construction with a clear error.
+	invalid := shortCfg(t, policy.NewDefault())
+	invalid.StackSpec = &floorplan.StackSpec{}
+	if _, err := Run(invalid); err == nil || !strings.Contains(err.Error(), "stack spec invalid") {
+		t.Errorf("invalid spec error = %v, want mention of invalid stack spec", err)
+	}
+}

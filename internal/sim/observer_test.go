@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestDeprecatedHookAdapter keeps the legacy Config.OnTick/OnTemps
+// compatibility path covered now that no in-repo caller uses it: the
+// deprecated callbacks must keep firing (alongside any Observer) until
+// the fields are removed.
+func TestDeprecatedHookAdapter(t *testing.T) {
+	cfg := shortCfg(t, policy.NewDefault())
+	var tickCalls, tempCalls, obsTickCalls int
+	cfg.OnTick = func(int) { tickCalls++ }
+	cfg.OnTemps = func(blockTempsC, coreTempsC []float64) {
+		tempCalls++
+		if len(blockTempsC) == 0 || len(coreTempsC) == 0 {
+			t.Error("OnTemps delivered empty temperature vectors")
+		}
+	}
+	cfg.Observer = FuncObserver{Tick: func(int) { obsTickCalls++ }}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tickCalls != res.Ticks || tempCalls != res.Ticks {
+		t.Errorf("deprecated hooks fired %d/%d times over %d ticks", tickCalls, tempCalls, res.Ticks)
+	}
+	if obsTickCalls != res.Ticks {
+		t.Errorf("Observer fired %d times over %d ticks when combined with deprecated hooks", obsTickCalls, res.Ticks)
+	}
+}
+
+// TestObserverResolution pins the Config.observer() resolution rules
+// directly: no hooks → the Observer field verbatim (including nil);
+// any deprecated hook set → a combined observer that still delivers
+// both signals.
+func TestObserverResolution(t *testing.T) {
+	var c Config
+	if c.observer() != nil {
+		t.Error("empty config resolved a non-nil observer")
+	}
+	want := FuncObserver{Tick: func(int) {}}
+	c.Observer = want
+	if got := c.observer(); got == nil {
+		t.Error("Observer-only config resolved nil")
+	}
+	ticks, temps := 0, 0
+	c = Config{
+		OnTick:  func(int) { ticks++ },
+		OnTemps: func(_, _ []float64) { temps++ },
+	}
+	o := c.observer()
+	if o == nil {
+		t.Fatal("hook-only config resolved nil observer")
+	}
+	o.ObserveTick(1)
+	o.ObserveTemps([]float64{1}, []float64{1})
+	if ticks != 1 || temps != 1 {
+		t.Errorf("adapter delivered ticks=%d temps=%d, want 1/1", ticks, temps)
+	}
+}

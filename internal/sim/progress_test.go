@@ -6,9 +6,9 @@ import (
 	"repro/internal/policy"
 )
 
-// TestOnTickProgressHook verifies the hook fires once per completed
-// tick, in order, and does not perturb the simulation itself.
-func TestOnTickProgressHook(t *testing.T) {
+// TestObserveTickProgress verifies the tick observation fires once per
+// completed tick, in order, and does not perturb the simulation itself.
+func TestObserveTickProgress(t *testing.T) {
 	base := Config{Policy: policy.NewDefault(), DurationS: 10, Seed: 3}
 	want, err := Run(base)
 	if err != nil {
@@ -18,20 +18,20 @@ func TestOnTickProgressHook(t *testing.T) {
 	var calls []int
 	hooked := base
 	hooked.Policy = policy.NewDefault()
-	hooked.OnTick = func(n int) { calls = append(calls, n) }
+	hooked.Observer = FuncObserver{Tick: func(n int) { calls = append(calls, n) }}
 	got, err := Run(hooked)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(calls) != got.Ticks {
-		t.Fatalf("OnTick fired %d times for %d ticks", len(calls), got.Ticks)
+		t.Fatalf("ObserveTick fired %d times for %d ticks", len(calls), got.Ticks)
 	}
 	for i, n := range calls {
 		if n != i+1 {
-			t.Fatalf("OnTick call %d reported %d ticks completed, want %d", i, n, i+1)
+			t.Fatalf("ObserveTick call %d reported %d ticks completed, want %d", i, n, i+1)
 		}
 	}
 	if got.EnergyJ != want.EnergyJ || got.Ticks != want.Ticks || got.Metrics.MaxTempC != want.Metrics.MaxTempC {
-		t.Fatal("hooked run diverged from plain run")
+		t.Fatal("observed run diverged from plain run")
 	}
 }

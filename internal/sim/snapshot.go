@@ -265,6 +265,8 @@ func (e *Engine) fork(pol policy.Policy) (*Engine, error) {
 		nTicks:  e.nTicks,
 		n:       n,
 
+		freqScale: e.freqScale, // immutable per run, safe to share
+
 		states:     make([]power.CoreState, n),
 		levels:     make([]power.VfLevel, n),
 		utils:      make([]float64, n),

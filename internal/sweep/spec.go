@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -24,14 +26,97 @@ type Scenario struct {
 	// alias — so two scenarios sharing a name but differing in physics
 	// can never collide in job keys (and therefore in result caches).
 	Name string `json:"name,omitempty"`
-	// Exp selects the floorplan stack (EXP-1..EXP-6).
-	Exp floorplan.Experiment `json:"exp"`
+	// Exp selects a builtin floorplan stack (EXP-1..EXP-6). Exactly one
+	// of Exp and Stack must be set (runners and the server validate
+	// this; the zero Exp is omitted from the wire form).
+	Exp floorplan.Experiment `json:"exp,omitempty"`
+	// Stack selects a declarative stack instead of a builtin
+	// experiment: either a registered spec by name or a full inline
+	// floorplan.StackSpec (see StackRef's wire forms).
+	Stack *StackRef `json:"stack,omitempty"`
 	// JointResistivityMKW overrides the paper's 0.23 m·K/W when nonzero.
+	// Only meaningful with Exp; a declarative stack carries its own
+	// interface physics, so combining it with Stack is a validation
+	// error rather than a silent ignore.
 	JointResistivityMKW float64 `json:"joint_resistivity_mkw,omitempty"`
 	// GridRows/GridCols switch the thermal model to grid mode when both
 	// are positive.
 	GridRows int `json:"grid_rows,omitempty"`
 	GridCols int `json:"grid_cols,omitempty"`
+}
+
+// StackRef references a declarative stack in a scenario: by registry
+// name or as a full inline spec. On the wire it is either a JSON
+// string (`"stack": "big-little"`, resolved against the process-wide
+// floorplan spec registry — the shipped scenario library plus any
+// operator-registered specs) or a JSON object (the floorplan.StackSpec
+// schema, self-contained so a client can sweep a stack the server has
+// never seen).
+type StackRef struct {
+	// Name references a registered spec; empty when Spec is inline.
+	Name string
+	// Spec is the inline spec; nil when Name references the registry.
+	Spec *floorplan.StackSpec
+}
+
+// MarshalJSON writes the registry-name string form or the inline spec
+// object form.
+func (r StackRef) MarshalJSON() ([]byte, error) {
+	if r.Spec != nil {
+		return json.Marshal(r.Spec)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("sweep: stack reference is empty (need a name or an inline spec)")
+	}
+	return json.Marshal(r.Name)
+}
+
+// UnmarshalJSON accepts both wire forms. Inline specs are parsed
+// strictly (unknown fields rejected) and validated.
+func (r *StackRef) UnmarshalJSON(b []byte) error {
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		return json.Unmarshal(trimmed, &r.Name)
+	}
+	spec, err := floorplan.ParseStackSpec(trimmed)
+	if err != nil {
+		return err
+	}
+	r.Spec = spec
+	return nil
+}
+
+// Resolve returns the referenced spec: the inline spec directly, or a
+// registry lookup by name.
+func (r StackRef) Resolve() (floorplan.StackSpec, error) {
+	if r.Spec != nil {
+		return *r.Spec, nil
+	}
+	if r.Name == "" {
+		return floorplan.StackSpec{}, fmt.Errorf("sweep: stack reference is empty (need a name or an inline spec)")
+	}
+	spec, ok := floorplan.LookupStackSpec(r.Name)
+	if !ok {
+		return floorplan.StackSpec{}, fmt.Errorf("sweep: unknown stack %q (registered: %v)", r.Name, floorplan.RegisteredStackSpecs())
+	}
+	return spec, nil
+}
+
+// id returns the reference's contribution to scenario identity. Named
+// references key on the registry name (registration refuses to rebind
+// a name to different content); inline specs key on content hash, so
+// two different inline stacks can never share cache entries, while the
+// same spec sent by different clients deduplicates. The "stack:"
+// prefix keeps the namespace disjoint from the builtin "EXP-n" IDs.
+func (r StackRef) id() string {
+	if r.Spec != nil {
+		name := r.Spec.Name
+		if name != "" {
+			name += "#"
+		}
+		return "stack:" + name + r.Spec.Hash()
+	}
+	return "stack:" + r.Name
 }
 
 // ID returns the scenario's stable identity. Every field that changes
@@ -42,6 +127,9 @@ type Scenario struct {
 // records be served as another's.)
 func (s Scenario) ID() string {
 	id := s.Exp.String()
+	if s.Stack != nil {
+		id = s.Stack.id()
+	}
 	if s.GridRows > 0 && s.GridCols > 0 {
 		id = fmt.Sprintf("%s/grid%dx%d", id, s.GridRows, s.GridCols)
 	}
@@ -52,6 +140,28 @@ func (s Scenario) ID() string {
 		return s.Name + "@" + id
 	}
 	return id
+}
+
+// CheckStack validates the scenario's stack selection: exactly one of
+// Exp and Stack, no joint-resistivity override on declarative stacks
+// (they carry their own interface physics), and a resolvable
+// reference. Runners and the server both call it, so a bad scenario
+// fails with the same message locally and over the wire.
+func (s Scenario) CheckStack() error {
+	if s.Stack == nil {
+		if s.Exp == 0 {
+			return fmt.Errorf("sweep: scenario %q selects no stack (set exp or stack)", s.Name)
+		}
+		return nil
+	}
+	if s.Exp != 0 {
+		return fmt.Errorf("sweep: scenario %q sets both exp %s and a stack reference", s.Name, s.Exp)
+	}
+	if s.JointResistivityMKW != 0 {
+		return fmt.Errorf("sweep: scenario %q: joint_resistivity_mkw does not apply to declarative stacks (set the spec's interlayer fields)", s.Name)
+	}
+	_, err := s.Stack.Resolve()
+	return err
 }
 
 // ScenariosFor wraps plain experiments as block-model scenarios.

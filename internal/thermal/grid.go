@@ -76,14 +76,21 @@ func NewGridModel(stack *floorplan.Stack, p Params, rows, cols int) (*Model, err
 		}
 	}
 
-	// Vertical conduction between layers through the interface material.
-	rhoInt := stack.InterlayerResistivityMKW
-	tInt := stack.InterlayerThicknessMM * mmToM
+	// Vertical conduction between layers through the interface material
+	// (resolved per interface so spec-built stacks can vary bonding
+	// properties between tiers).
 	for li := 0; li+1 < nl; li++ {
+		ifc := stack.Interface(li)
+		rhoInt := ifc.ResistivityMKW
+		tInt := ifc.ThicknessMM * mmToM
 		tl := stack.Layers[li].ThicknessMM * mmToM
 		tu := stack.Layers[li+1].ThicknessMM * mmToM
 		r := p.SiliconResistivity*(tl/2)/cellA + rhoInt*tInt/cellA + p.SiliconResistivity*(tu/2)/cellA
 		cInt := p.InterlayerVolHeat * cellA * tInt / 2
+		// Interlayer microfluidic cooling (see NewBlockModel): every
+		// cell face adjacent to a cooled interface convects to coolant
+		// at ambient through a linearized ground conductance.
+		gCool := ifc.CoolantHTCWm2K * cellA
 		for rI := 0; rI < rows; rI++ {
 			for c := 0; c < cols; c++ {
 				lo := node(li, rI, c)
@@ -91,6 +98,12 @@ func NewGridModel(stack *floorplan.Stack, p Params, rows, cols int) (*Model, err
 				sb.StampConductance(lo, hi, 1/r)
 				m.C[lo] += cInt
 				m.C[hi] += cInt
+				if gCool > 0 {
+					sb.StampGroundConductance(lo, gCool)
+					sb.StampGroundConductance(hi, gCool)
+					m.GroundG[lo] += gCool
+					m.GroundG[hi] += gCool
+				}
 			}
 		}
 	}

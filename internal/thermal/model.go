@@ -187,10 +187,12 @@ func NewBlockModel(stack *floorplan.Stack, p Params) (*Model, error) {
 	}
 
 	// Vertical resistances between consecutive layers through the
-	// interface material (with TSV-adjusted joint resistivity).
-	rhoInt := stack.InterlayerResistivityMKW
-	tInt := stack.InterlayerThicknessMM * mmToM
+	// interface material (with TSV-adjusted joint resistivity, resolved
+	// per interface so spec-built stacks can vary bonding properties).
 	for li := 0; li+1 < len(stack.Layers); li++ {
+		ifc := stack.Interface(li)
+		rhoInt := ifc.ResistivityMKW
+		tInt := ifc.ThicknessMM * mmToM
 		lower, upper := stack.Layers[li], stack.Layers[li+1]
 		tl := lower.ThicknessMM * mmToM
 		tu := upper.ThicknessMM * mmToM
@@ -208,6 +210,20 @@ func NewBlockModel(stack *floorplan.Stack, p Params) (*Model, error) {
 				cInt := p.InterlayerVolHeat * aOv * tInt / 2
 				m.C[stack.BlockIndex(bl)] += cInt
 				m.C[stack.BlockIndex(bu)] += cInt
+			}
+		}
+		// Interlayer microfluidic cooling: both faces of the cooled
+		// interface convect to coolant held at ambient. Linearized as a
+		// ground conductance, so the system stays SPD and the shared
+		// factorization cache keys it like any other matrix change.
+		if htc := ifc.CoolantHTCWm2K; htc > 0 {
+			for _, lay := range []*floorplan.Layer{lower, upper} {
+				for _, b := range lay.Blocks {
+					node := stack.BlockIndex(b)
+					g := htc * b.Area() * mm2ToM2
+					sb.StampGroundConductance(node, g)
+					m.GroundG[node] += g
+				}
 			}
 		}
 	}

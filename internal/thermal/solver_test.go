@@ -12,12 +12,13 @@ import (
 	"repro/internal/linalg"
 )
 
-// solverModels enumerates the EXP-1..EXP-4 block models plus grid models,
-// the systems the paper's sweeps actually solve.
+// solverModels enumerates every builtin block model (EXP-1..EXP-6,
+// the full coverage roster) plus grid models — all the systems the
+// paper's and the extended sweeps solve.
 func solverModels(t *testing.T) map[string]*Model {
 	t.Helper()
 	out := make(map[string]*Model)
-	for _, e := range floorplan.AllExperiments() {
+	for _, e := range floorplan.ExtendedExperiments() {
 		s := floorplan.MustBuild(e)
 		m, err := NewBlockModel(s, DefaultParams())
 		if err != nil {

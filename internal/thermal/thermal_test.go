@@ -71,7 +71,7 @@ func TestSteadyStateZeroPowerIsAmbient(t *testing.T) {
 }
 
 func TestSteadyStateEnergyConservation(t *testing.T) {
-	for _, e := range floorplan.AllExperiments() {
+	for _, e := range floorplan.ExtendedExperiments() {
 		s := floorplan.MustBuild(e)
 		m, err := NewBlockModel(s, DefaultParams())
 		if err != nil {

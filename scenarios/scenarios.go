@@ -1,0 +1,94 @@
+// Package scenarios embeds and registers the shipped stack-scenario
+// library: declarative floorplan.StackSpec documents that go beyond
+// the paper's EXP-1..6 — heterogeneous big.LITTLE tiers, DRAM-on-logic
+// stacking, a high-TSV-density logic-on-logic stack, and interlayer
+// microfluidic cooling. Importing the package (typically blank, as the
+// CLIs do) registers every library spec in the process-wide floorplan
+// registry, so scenarios can reference them by name
+// (`"stack": "big-little"`) locally and over the wire.
+//
+// Each file under this directory is a complete StackSpec (see
+// scenarios/README.md for the schema); the package's init panics if
+// any shipped file fails to parse, validate, or register, so a broken
+// library cannot build.
+package scenarios
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+//go:embed *.json
+var files embed.FS
+
+// Load resolves a CLI -stack argument: a path to a StackSpec JSON file
+// (parsed strictly and validated), or the name of a registered spec —
+// the shipped library plus anything registered at startup. A path that
+// exists but fails to parse reports the parse error rather than
+// falling through to a confusing "unknown stack".
+func Load(arg string) (floorplan.StackSpec, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		spec, err := floorplan.ParseStackSpec(data)
+		if err != nil {
+			return floorplan.StackSpec{}, fmt.Errorf("%s: %w", arg, err)
+		}
+		return *spec, nil
+	} else if strings.ContainsAny(arg, "/\\") || strings.HasSuffix(arg, ".json") {
+		return floorplan.StackSpec{}, fmt.Errorf("reading stack spec %s: %w", arg, err)
+	}
+	if spec, ok := floorplan.LookupStackSpec(arg); ok {
+		return spec, nil
+	}
+	return floorplan.StackSpec{}, fmt.Errorf("unknown stack %q: not a readable file and not a registered spec (registered: %s)",
+		arg, strings.Join(floorplan.RegisteredStackSpecs(), ", "))
+}
+
+// Names lists the library's spec names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Spec returns a library spec by name.
+func Spec(name string) (floorplan.StackSpec, bool) {
+	s, ok := byName[name]
+	return s, ok
+}
+
+var byName = map[string]floorplan.StackSpec{}
+
+func init() {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		panic(fmt.Sprintf("scenarios: reading embedded library: %v", err))
+	}
+	for _, e := range entries {
+		data, err := files.ReadFile(e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("scenarios: reading %s: %v", e.Name(), err))
+		}
+		spec, err := floorplan.ParseStackSpec(data)
+		if err != nil {
+			panic(fmt.Sprintf("scenarios: %s: %v", e.Name(), err))
+		}
+		if spec.Name == "" {
+			panic(fmt.Sprintf("scenarios: %s declares no name", e.Name()))
+		}
+		if err := floorplan.RegisterStackSpec(*spec); err != nil {
+			panic(fmt.Sprintf("scenarios: %s: %v", e.Name(), err))
+		}
+		byName[spec.Name] = *spec
+	}
+	if len(byName) == 0 {
+		panic("scenarios: embedded library is empty")
+	}
+}
