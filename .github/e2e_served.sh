@@ -10,6 +10,12 @@
 #      simulated tick is recorded.
 #   3. SSE framing delivers every record plus a terminal done event.
 #   4. SIGTERM drains gracefully (exit 0).
+#   5. A 3-node cluster (booted on ephemeral ports via -peers-file,
+#      swept via dtmsweep -remote a,b,c) streams byte-identically to a
+#      direct run; a follow-up sweep against ONE node is served from
+#      the composed cluster cache (peer-fill, zero new ticks); with a
+#      node killed, the cluster stream stays byte-identical and the
+#      rerouted/retry counters move.
 #
 # Sub-rounds of 2 additionally pin reliability streams (2b),
 # model-predictive policies (2c), and declarative -stack sweeps with
@@ -21,8 +27,10 @@ set -eu
 
 WORKDIR=$(mktemp -d)
 SERVER_PID=""
+NODE_PIDS=""
 cleanup() {
 	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	for p in $NODE_PIDS; do kill "$p" 2>/dev/null || true; done
 	rm -rf "$WORKDIR"
 }
 trap cleanup EXIT INT TERM
@@ -63,7 +71,7 @@ metric() {
 	curl -sf "http://$ADDR/metrics" | jq -e ".$1" || fail "metric $1 unreadable"
 }
 
-echo "e2e: 1/4 served stream vs direct run"
+echo "e2e: 1/5 served stream vs direct run"
 "$WORKDIR/dtmsweep" -out jsonl -canonical $SWEEP_ARGS \
 	>"$WORKDIR/direct.jsonl" 2>/dev/null || fail "direct sweep failed"
 "$WORKDIR/dtmsweep" -out jsonl -remote "http://$ADDR" $SWEEP_ARGS \
@@ -80,7 +88,7 @@ curl -sf -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/curl.jsonl" || fail "curl
 cmp -s "$WORKDIR/direct.jsonl" "$WORKDIR/curl.jsonl" ||
 	fail "curl-streamed records differ from the direct run"
 
-echo "e2e: 2/4 repeated request is served from the result cache"
+echo "e2e: 2/5 repeated request is served from the result cache"
 HITS0=$(metric cache_hits_total)
 TICKS0=$(metric sim_ticks_total)
 COMPLETED0=$(metric jobs_completed_total)
@@ -99,7 +107,7 @@ COMPLETED1=$(metric jobs_completed_total)
 [ "$COMPLETED1" -eq "$COMPLETED0" ] ||
 	fail "repeat request ran $((COMPLETED1 - COMPLETED0)) new jobs, want 0"
 
-echo "e2e: 2b/4 reliability-enabled sweep is byte-identical and cache-isolated"
+echo "e2e: 2b/5 reliability-enabled sweep is byte-identical and cache-isolated"
 # Reliability flips the job identity (|rel keys), so these runs must
 # NOT be served from the plain sweep's cache entries — and the rel_*
 # wear fields must survive the HTTP path byte-for-byte.
@@ -118,7 +126,7 @@ RELJOBS1=$(metric reliability_jobs_total)
 [ "$RELJOBS1" -eq $((RELJOBS0 + JOBS)) ] ||
 	fail "reliability_jobs_total went $RELJOBS0 -> $RELJOBS1, want +$JOBS"
 
-echo "e2e: 2c/4 model-predictive sweep is byte-identical served vs local"
+echo "e2e: 2c/5 model-predictive sweep is byte-identical served vs local"
 # The MPC policies drive snapshot/fork rollouts inside every decision
 # epoch — parallel lane evaluation included — so this round proves the
 # planning path stays deterministic across processes: the served stream
@@ -135,7 +143,7 @@ cmp -s "$WORKDIR/direct_mpc.jsonl" "$WORKDIR/remote_mpc.jsonl" ||
 [ "$(wc -l <"$WORKDIR/remote_mpc.jsonl")" -eq 4 ] ||
 	fail "expected 4 MPC-round records, got $(wc -l <"$WORKDIR/remote_mpc.jsonl")"
 
-echo "e2e: 2d/4 declarative-stack sweep is byte-identical served vs local"
+echo "e2e: 2d/5 declarative-stack sweep is byte-identical served vs local"
 # Custom stacks travel as inline StackSpec JSON in the request body
 # (dtmsweep -stack always inlines), so the server needs no registry
 # entry — and the spec's content hash keys the jobs, so the stream
@@ -153,19 +161,132 @@ cmp -s "$WORKDIR/direct_stack.jsonl" "$WORKDIR/remote_stack.jsonl" ||
 grep -q '"scenario":"stack:big-little#' "$WORKDIR/remote_stack.jsonl" ||
 	fail "stack records do not carry the stack:name#hash scenario identity"
 
-echo "e2e: 3/4 SSE framing"
+echo "e2e: 3/5 SSE framing"
 curl -sf -H 'Accept: text/event-stream' -d "$BODY" "http://$ADDR/v1/sweep" >"$WORKDIR/sse.txt" ||
 	fail "SSE sweep failed"
 [ "$(grep -c '^event: record$' "$WORKDIR/sse.txt")" -eq "$JOBS" ] ||
 	fail "SSE stream lost records"
 grep -q '^event: done$' "$WORKDIR/sse.txt" || fail "SSE stream has no done event"
 
-echo "e2e: 4/4 graceful drain on SIGTERM"
+echo "e2e: 4/5 graceful drain on SIGTERM"
 kill -TERM "$SERVER_PID"
 STATUS=0
 wait "$SERVER_PID" || STATUS=$?
 SERVER_PID=""
 [ "$STATUS" -eq 0 ] || fail "server exited $STATUS on SIGTERM, want 0"
 grep -q "stopped" "$WORKDIR/server.log" || fail "server log records no clean stop"
+
+echo "e2e: 5/5 three-node cluster"
+# Boot 3 nodes on ephemeral ports. Each blocks between binding (it
+# writes -addr-file) and serving (it polls -peers-file), so the script
+# can collect the addresses and publish the roster before any node
+# answers traffic. 16 jobs (4 replicates) keep the per-node partitions
+# non-trivial whatever the rendezvous hash does with the random ports.
+CLUSTER_ARGS="$SWEEP_ARGS -replicates 4"
+CJOBS=16
+for n in 1 2 3; do
+	"$WORKDIR/dtmserved" -addr 127.0.0.1:0 -addr-file "$WORKDIR/addr$n.txt" \
+		-peers-file "$WORKDIR/peers.txt" -workers 2 >"$WORKDIR/node$n.log" 2>&1 &
+	NODE_PIDS="$NODE_PIDS $!"
+done
+for n in 1 2 3; do
+	i=0
+	while [ ! -s "$WORKDIR/addr$n.txt" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "cluster node $n never wrote its address file"
+		sleep 0.1
+	done
+done
+A1=$(cat "$WORKDIR/addr1.txt")
+A2=$(cat "$WORKDIR/addr2.txt")
+A3=$(cat "$WORKDIR/addr3.txt")
+printf 'http://%s,http://%s,http://%s\n' "$A1" "$A2" "$A3" >"$WORKDIR/peers.tmp"
+mv "$WORKDIR/peers.tmp" "$WORKDIR/peers.txt"
+CLUSTER="http://$A1,http://$A2,http://$A3"
+for a in "$A1" "$A2" "$A3"; do
+	i=0
+	until curl -sf "http://$a/healthz" >/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "cluster node $a never became healthy"
+		sleep 0.1
+	done
+done
+echo "e2e: cluster up: $CLUSTER"
+
+nmetric() {
+	curl -sf "http://$1/metrics" | jq -e ".$2" || fail "metric $2 unreadable on $1"
+}
+summetric() {
+	_s=0
+	for _a in "$A1" "$A2" "$A3"; do
+		_s=$((_s + $(nmetric "$_a" "$1")))
+	done
+	echo "$_s"
+}
+
+# 5a: the router's merged stream is byte-identical to a direct run.
+"$WORKDIR/dtmsweep" -out jsonl -canonical $CLUSTER_ARGS \
+	>"$WORKDIR/direct_cluster.jsonl" 2>/dev/null || fail "direct cluster-round sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "$CLUSTER" $CLUSTER_ARGS \
+	>"$WORKDIR/cluster.jsonl" 2>/dev/null || fail "cluster sweep failed"
+cmp -s "$WORKDIR/direct_cluster.jsonl" "$WORKDIR/cluster.jsonl" ||
+	fail "3-node cluster stream differs from the direct run"
+[ "$(wc -l <"$WORKDIR/cluster.jsonl")" -eq "$CJOBS" ] ||
+	fail "expected $CJOBS cluster records, got $(wc -l <"$WORKDIR/cluster.jsonl")"
+
+# 5b: the caches compose. After 5a every node cached exactly its own
+# partition; repeating the sweep against ONE node must be served from
+# the cluster-wide cache — peer-fill for the other nodes' keys, not
+# one new simulated tick anywhere.
+TICKS_C0=$(summetric sim_ticks_total)
+PF0=$(nmetric "$A1" peer_fills_total)
+HITS_C0=$(summetric cache_hits_total)
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$A1" $CLUSTER_ARGS \
+	>"$WORKDIR/single.jsonl" 2>/dev/null || fail "single-node cluster sweep failed"
+cmp -s "$WORKDIR/direct_cluster.jsonl" "$WORKDIR/single.jsonl" ||
+	fail "single-node sweep through the cluster cache differs from the direct run"
+TICKS_C1=$(summetric sim_ticks_total)
+[ "$TICKS_C1" -eq "$TICKS_C0" ] ||
+	fail "cluster-cached sweep simulated $((TICKS_C1 - TICKS_C0)) new ticks, want 0"
+PF1=$(nmetric "$A1" peer_fills_total)
+[ "$PF1" -gt "$PF0" ] || fail "peer_fills_total did not move on the queried node"
+HITS_C1=$(summetric cache_hits_total)
+[ $((HITS_C1 - HITS_C0)) -ge "$CJOBS" ] ||
+	fail "cluster-wide cache hits went +$((HITS_C1 - HITS_C0)), want +$CJOBS (every key a hit on its owner)"
+
+# 5c: kill one node; the router must fail over to each dead-owned
+# key's rendezvous runner-up and still merge the canonical stream. A
+# fresh seed keeps every job uncached so the failover actually routes
+# work.
+KILLED_PID=${NODE_PIDS##* }
+kill -9 "$KILLED_PID" 2>/dev/null || true
+SEED2_ARGS="-exps 1,2 -policies Default,Adapt3D -benchmarks Web-med -duration 2 -seed 2 -replicates 4"
+"$WORKDIR/dtmsweep" -out jsonl -canonical $SEED2_ARGS \
+	>"$WORKDIR/direct_seed2.jsonl" 2>/dev/null || fail "direct seed-2 sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "$CLUSTER" $SEED2_ARGS \
+	>"$WORKDIR/cluster_seed2.jsonl" 2>/dev/null || fail "cluster sweep with a dead node failed"
+cmp -s "$WORKDIR/direct_seed2.jsonl" "$WORKDIR/cluster_seed2.jsonl" ||
+	fail "cluster stream with a dead node differs from the direct run"
+
+# 5d: server-side peer-fill around the dead node. Another fresh seed
+# against one surviving node: keys owned by the live peer peer-fill
+# (counter up), keys owned by the dead peer retry then re-route to a
+# local run (both failure counters up) — and the records still match.
+PF_A0=$(nmetric "$A1" peer_fills_total)
+RR_A0=$(nmetric "$A1" rerouted_jobs_total)
+BR_A0=$(nmetric "$A1" backend_retries_total)
+SEED3_ARGS="-exps 1,2 -policies Default,Adapt3D -benchmarks Web-med -duration 2 -seed 3 -replicates 4"
+"$WORKDIR/dtmsweep" -out jsonl -canonical $SEED3_ARGS \
+	>"$WORKDIR/direct_seed3.jsonl" 2>/dev/null || fail "direct seed-3 sweep failed"
+"$WORKDIR/dtmsweep" -out jsonl -remote "http://$A1" $SEED3_ARGS \
+	>"$WORKDIR/single_seed3.jsonl" 2>/dev/null || fail "single-node sweep with a dead peer failed"
+cmp -s "$WORKDIR/direct_seed3.jsonl" "$WORKDIR/single_seed3.jsonl" ||
+	fail "records with a dead peer differ from the direct run"
+PF_A1=$(nmetric "$A1" peer_fills_total)
+RR_A1=$(nmetric "$A1" rerouted_jobs_total)
+BR_A1=$(nmetric "$A1" backend_retries_total)
+[ "$PF_A1" -gt "$PF_A0" ] || fail "peer_fills_total did not move for live-peer-owned keys"
+[ "$RR_A1" -gt "$RR_A0" ] || fail "rerouted_jobs_total did not move for dead-peer-owned keys"
+[ "$BR_A1" -gt "$BR_A0" ] || fail "backend_retries_total did not move for dead-peer-owned keys"
 
 echo "e2e: PASS"

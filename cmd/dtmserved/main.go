@@ -46,6 +46,8 @@ func main() {
 	maxJobsFlag := flag.Int("max-jobs", 0, "reject sweep requests expanding past this many jobs (0: 4096)")
 	drainFlag := flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGTERM before forcing them")
 	stackFlag := flag.String("stack", "", "comma-separated StackSpec JSON files to register by name at startup, so clients can reference them as {\"stack\": \"name\"} (the shipped library — "+strings.Join(scenarios.Names(), ", ")+" — is always registered)")
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of every cluster node INCLUDING this one (e.g. http://a:8080,http://b:8080); enables peer-fill: cache misses for keys another node owns are fetched from that owner. All nodes and routers must use the identical list")
+	peersFileFlag := flag.String("peers-file", "", "file holding the -peers list (one URL per line or comma-separated), read after the listener binds — lets scripts boot a cluster on ephemeral ports, collect the addresses, then write this file")
 	flag.Parse()
 
 	for _, path := range strings.Split(*stackFlag, ",") {
@@ -65,12 +67,10 @@ func main() {
 		log.Printf("registered stack spec %q (%s)", spec.Name, spec.Hash())
 	}
 
-	srv := server.New(server.Config{
-		Workers:         *workersFlag,
-		CacheEntries:    *cacheFlag,
-		MaxJobsPerSweep: *maxJobsFlag,
-	})
-
+	// Bind before constructing the server: cluster membership may need
+	// the bound address (a -peers-file cluster boots on ephemeral ports,
+	// publishes them via -addr-file, and reads the assembled list back).
+	// Connections arriving in the gap queue in the accept backlog.
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +87,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+
+	var peers []string
+	var self string
+	if *peersFlag != "" || *peersFileFlag != "" {
+		if peers, err = loadPeers(*peersFlag, *peersFileFlag); err != nil {
+			log.Fatal(err)
+		}
+		if self, err = resolveSelf(peers, ln.Addr()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster of %d nodes, this one is %s", len(peers), self)
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *workersFlag,
+		CacheEntries:    *cacheFlag,
+		MaxJobsPerSweep: *maxJobsFlag,
+		Peers:           peers,
+		Self:            self,
+	})
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+// peersFileTimeout bounds how long a booting node waits for its
+// -peers-file to appear: long enough for a script to collect every
+// node's ephemeral address, short enough that a misconfigured path
+// fails the boot instead of hanging it.
+const peersFileTimeout = 30 * time.Second
+
+// loadPeers returns the cluster node list from -peers, or from
+// -peers-file when -peers is empty. The file may list URLs one per
+// line or comma-separated, and is polled until it appears (up to
+// peersFileTimeout): a cluster booting on ephemeral ports cannot know
+// the list before every listener binds, so each node publishes its
+// address first (-addr-file) and reads the assembled roster back.
+func loadPeers(peers, peersFile string) ([]string, error) {
+	raw := peers
+	if raw == "" {
+		deadline := time.Now().Add(peersFileTimeout)
+		for {
+			b, err := os.ReadFile(peersFile)
+			if err == nil && len(strings.TrimSpace(string(b))) > 0 {
+				raw = strings.TrimSpace(string(b))
+				break
+			}
+			if time.Now().After(deadline) {
+				if err == nil {
+					err = fmt.Errorf("file is empty")
+				}
+				return nil, fmt.Errorf("waiting for -peers-file %s: %v", peersFile, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	var list []string
+	seen := make(map[string]bool)
+	for _, tok := range strings.FieldsFunc(raw, func(r rune) bool { return r == ',' || r == '\n' || r == '\r' }) {
+		if tok = strings.TrimSpace(tok); tok == "" {
+			continue
+		}
+		if seen[tok] {
+			return nil, fmt.Errorf("peer list names %s twice", tok)
+		}
+		seen[tok] = true
+		list = append(list, tok)
+	}
+	if len(list) < 2 {
+		return nil, fmt.Errorf("peer list needs at least 2 nodes (this one included), got %d", len(list))
+	}
+	return list, nil
+}
+
+// hostPort extracts the host and port of a peer base URL, defaulting
+// the port from the scheme.
+func hostPort(peer string) (host, port string, err error) {
+	u, err := url.Parse(peer)
+	if err != nil {
+		return "", "", fmt.Errorf("peer %s: %v", peer, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", "", fmt.Errorf("peer %s: need an http(s) base URL", peer)
+	}
+	host, port = u.Hostname(), u.Port()
+	if port == "" {
+		if u.Scheme == "https" {
+			port = "443"
+		} else {
+			port = "80"
+		}
+	}
+	return host, port, nil
+}
+
+// resolveSelf finds this node's own entry in the peer list by matching
+// the bound listen address: host and port when the listener is bound to
+// a concrete host, port alone when it is bound to a wildcard (every
+// peer URL then reaches this process, whatever host it spells).
+func resolveSelf(peers []string, bound net.Addr) (string, error) {
+	bhost, bport, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return "", fmt.Errorf("listen address %s: %v", bound, err)
+	}
+	wildcard := bhost == "" || bhost == "0.0.0.0" || bhost == "::"
+	var self string
+	for _, p := range peers {
+		h, port, err := hostPort(p)
+		if err != nil {
+			return "", err
+		}
+		if port != bport || (!wildcard && h != bhost) {
+			continue
+		}
+		if self != "" {
+			return "", fmt.Errorf("peer list entries %s and %s both match the listen address %s", self, p, bound)
+		}
+		self = p
+	}
+	if self == "" {
+		return "", fmt.Errorf("no peer list entry matches the listen address %s (the -peers list must include this node)", bound)
+	}
+	return self, nil
+}

@@ -23,6 +23,7 @@
 //	dtmsweep -out jsonl -resume ck.jsonl -checkpoint ck.jsonl  # resume
 //	dtmsweep -out jsonl -canonical                    # deterministic byte-stable stream
 //	dtmsweep -out jsonl -remote http://host:8080      # run on a dtmserved instance
+//	dtmsweep -out jsonl -remote http://a:8080,http://b:8080  # route across a dtmserved cluster
 //	dtmsweep -out jsonl -reliability                  # records carry rel_* wear fields
 //	dtmsweep -out jsonl -reliability -stress          # + degraded-TSV stress scenario
 package main
@@ -114,7 +115,7 @@ func main() {
 	repFlag := flag.Int("replicates", 1, "independent seeds per cell; >1 reports mean±stddev")
 
 	outFlag := flag.String("out", "", "switch to streaming sweep mode and write per-run records to stdout as csv or jsonl")
-	remoteFlag := flag.String("remote", "", "run the sweep on a dtmserved instance at this base URL (e.g. http://host:8080) instead of locally (sweep mode)")
+	remoteFlag := flag.String("remote", "", "run the sweep on dtmserved instance(s) instead of locally: one base URL (e.g. http://host:8080), or a comma-separated cluster list routed by rendezvous-hashed job key (sweep mode)")
 	canonFlag := flag.Bool("canonical", false, "emit records in canonical job order with elapsed_ms stripped, byte-identical across runs and to a dtmserved stream (sweep mode)")
 	shardFlag := flag.String("shard", "", "run only shard i of n ('i/n', 0-based) of the sweep's job list (sweep mode)")
 	resumeFlag := flag.String("resume", "", "JSONL checkpoint of a previous invocation; completed jobs are skipped (sweep mode)")
@@ -454,10 +455,15 @@ func sweepMode(f sweepFlags) error {
 	defer stop()
 
 	if f.remote != "" {
+		st, cleanup, err := newStreamer(f.remote)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "dtmsweep: %d jobs in sweep, %d in this shard, %d to run on %s\n",
 			total, len(jobs), len(jobs)-countSkipped(jobs, opts.Skip), f.remote)
-		n, err := remoteSweep(ctx, f.remote, spec, shardIdx, shardCnt, opts.Skip, sinks...)
+		n, err := remoteSweep(ctx, st, spec, shardIdx, shardCnt, opts.Skip, sinks...)
 		fmt.Fprintf(os.Stderr, "dtmsweep: %d records from %s in %.1fs\n", n, f.remote, time.Since(start).Seconds())
 		return err
 	}

@@ -1,63 +1,60 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"sort"
 	"strings"
 
-	"repro/internal/server"
+	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/sweep"
 )
 
-// remoteSweep runs the sweep on a dtmserved instance instead of the
-// local machine: it posts the spec (plus shard selection and resume
-// skip-set) to the server's /v1/sweep endpoint and feeds the streamed
-// JSONL records into the local sinks, so -out, -checkpoint, and -resume
-// behave identically to a local run. The server streams in canonical
-// job order with ElapsedMS stripped; the completion trailer
-// distinguishes a finished sweep from a truncated one, since a failed
-// stream's prefix is indistinguishable from success otherwise. Returns
-// the number of records received.
-func remoteSweep(ctx context.Context, baseURL string, spec sweep.Spec, shardIdx, shardCnt int, skip map[string]bool, sinks ...sweep.Sink) (n int, err error) {
-	req := server.SweepRequest{Spec: spec, ShardIndex: shardIdx, ShardCount: shardCnt}
+// newStreamer builds the client.Streamer behind the -remote flag: one
+// base URL gets a single-backend client.Client, a comma-separated list
+// gets a cluster.Router that routes every job key to its rendezvous
+// owner and re-merges the per-backend streams into canonical order.
+// That constructor choice is the whole difference between single-node
+// and cluster serving; everything downstream speaks client.Streamer.
+// cleanup releases the streamer's resources (the router's health
+// probes) and is non-nil even on the single-backend path.
+func newStreamer(remote string) (st client.Streamer, cleanup func(), err error) {
+	var backends []string
+	for _, b := range strings.Split(remote, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	switch len(backends) {
+	case 0:
+		return nil, nil, fmt.Errorf("-remote %q names no backend", remote)
+	case 1:
+		return client.New(backends[0]), func() {}, nil
+	default:
+		r, err := cluster.New(cluster.Config{Backends: backends})
+		if err != nil {
+			return nil, nil, err
+		}
+		return r, r.Close, nil
+	}
+}
+
+// remoteSweep runs the sweep on dtmserved instance(s) instead of the
+// local machine: it hands the spec (plus shard selection and resume
+// skip-set) to the streamer and feeds the returned records into the
+// local sinks, so -out, -checkpoint, and -resume behave identically to
+// a local run. The streamer delivers records in canonical job order
+// with ElapsedMS stripped and verifies the server's completion trailer
+// (retrying transient failures with only the not-yet-received jobs),
+// so a finished remote stream is byte-identical to a local -canonical
+// run of the same spec. Returns the number of records received.
+func remoteSweep(ctx context.Context, st client.Streamer, spec sweep.Spec, shardIdx, shardCnt int, skip map[string]bool, sinks ...sweep.Sink) (n int, err error) {
+	req := client.Request{Spec: spec, ShardIndex: shardIdx, ShardCount: shardCnt}
 	for k := range skip {
 		req.SkipKeys = append(req.SkipKeys, k)
 	}
 	sort.Strings(req.SkipKeys) // deterministic request bodies
-	body, err := json.Marshal(req)
-	if err != nil {
-		return 0, err
-	}
-
-	url := strings.TrimSuffix(baseURL, "/") + "/v1/sweep"
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	hr.Header.Set("Content-Type", "application/json")
-	hr.Header.Set("Accept", "application/x-ndjson")
-	resp, err := http.DefaultClient.Do(hr)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
-			return 0, fmt.Errorf("remote sweep: %s: %s", resp.Status, e.Error)
-		}
-		return 0, fmt.Errorf("remote sweep: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
 
 	// Sinks are closed here, mirroring sweep.Execute, so one sweepMode
 	// exit path covers local and remote runs.
@@ -69,35 +66,12 @@ func remoteSweep(ctx context.Context, baseURL string, spec sweep.Spec, shardIdx,
 		}
 	}()
 
-	dec := json.NewDecoder(resp.Body)
-	for {
-		var rec sweep.Record
-		if derr := dec.Decode(&rec); derr == io.EOF {
-			break
-		} else if derr != nil {
-			return n, fmt.Errorf("remote sweep: reading stream after %d records: %w", n, derr)
-		}
-		if rec.Key == "" {
-			return n, fmt.Errorf("remote sweep: record %d has no key", n+1)
-		}
+	return st.Stream(ctx, req, func(rec sweep.Record) error {
 		for _, s := range sinks {
 			if perr := s.Put(rec); perr != nil {
-				return n, fmt.Errorf("sweep: sink: %w", perr)
+				return fmt.Errorf("sweep: sink: %w", perr)
 			}
 		}
-		n++
-	}
-
-	// The body is fully read, so the trailer is populated.
-	switch st := resp.Trailer.Get("X-Sweep-Status"); st {
-	case "complete":
-		return n, nil
-	case "error":
-		return n, fmt.Errorf("remote sweep failed after %d records: %s", n, resp.Trailer.Get("X-Sweep-Error"))
-	default:
-		if ctx.Err() != nil {
-			return n, ctx.Err()
-		}
-		return n, errors.New("remote sweep: stream ended without a completion trailer (server died mid-sweep?)")
-	}
+		return nil
+	})
 }

@@ -1,0 +1,358 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// PeerFillHeader is the one-hop loop guard of the cluster peer-fill
+// path: a server resolving a cache miss by asking the key's owner sets
+// it on the outgoing /v1/job request, and a server receiving a request
+// that carries it answers locally instead of forwarding again — so an
+// inconsistent peer configuration can cost one extra hop, never a
+// cycle.
+const PeerFillHeader = "X-Peer-Fill"
+
+// EmitFunc receives one streamed record. Returning an error aborts the
+// stream; the error is reported back from Stream verbatim (it is the
+// caller's own sink failure, never retried).
+type EmitFunc func(sweep.Record) error
+
+// Streamer runs a sweep request somewhere and delivers its records in
+// canonical job order (the request's Jobs() order), returning how many
+// records were emitted. *Client implements it against one backend;
+// cluster.Router implements it against a rendezvous-hashed backend
+// set — single-node and cluster serving differ only in which
+// constructor built the Streamer.
+//
+// Implementations guarantee: each job of the request is emitted
+// exactly once on success; on error, the emitted records are a prefix
+// of the canonical order and every record was emitted at most once.
+type Streamer interface {
+	Stream(ctx context.Context, req Request, emit EmitFunc) (int, error)
+}
+
+// Default retry tuning. Retries target transient failures (connection
+// resets, 5xx, mid-stream truncation); a retried stream re-issues only
+// the jobs not yet received.
+const (
+	// DefaultMaxRetries is the number of re-attempts after the first
+	// failure of a stream or job fetch.
+	DefaultMaxRetries = 3
+	// DefaultBackoff is the delay before the first retry; it doubles
+	// per attempt up to DefaultMaxBackoff.
+	DefaultBackoff = 100 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential backoff.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// Client streams sweeps from one dtmserved backend. The zero value is
+// not usable; construct with New. Fields may be adjusted before first
+// use and must not be mutated afterwards (a Client is otherwise safe
+// for concurrent use).
+type Client struct {
+	// BaseURL is the backend's base URL, e.g. "http://host:8080".
+	BaseURL string
+	// HTTP is the underlying HTTP client (nil: http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries is the number of retries after a transient failure
+	// (0: DefaultMaxRetries; negative: no retries).
+	MaxRetries int
+	// Backoff is the first retry delay, doubling per attempt
+	// (0: DefaultBackoff).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (0: DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// OnRetry, when non-nil, is invoked once per retry attempt, before
+	// the backoff sleep. Metrics counters hang off it.
+	OnRetry func()
+}
+
+// New returns a Client for the backend at baseURL with default retry
+// tuning.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// transientError marks a failure worth retrying: the server may well
+// answer the re-issued request (connection reset, 5xx, truncated
+// stream). Permanent failures — 4xx rejections, a server-reported job
+// error in the trailer, the caller's own sink error — are returned
+// unwrapped.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// IsTransient reports whether err is a failure the client classifies
+// as retryable. Exposed so callers layering their own retry or
+// failover logic (the cluster router) agree with the client about
+// which failures are worth re-attempting.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) backoffFor(attempt int) time.Duration {
+	d := c.Backoff
+	if d <= 0 {
+		d = DefaultBackoff
+	}
+	maxd := c.MaxBackoff
+	if maxd <= 0 {
+		maxd = DefaultMaxBackoff
+	}
+	for i := 1; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	return d
+}
+
+// sleepBackoff waits the attempt's backoff or the context, whichever
+// ends first.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	t := time.NewTimer(c.backoffFor(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stream implements Streamer against the client's single backend: it
+// POSTs the request to /v1/sweep, decodes the JSONL record stream,
+// verifies the completion trailer, and emits each record once in the
+// order received (the server's canonical job order).
+//
+// Transient failures are retried up to MaxRetries times with
+// exponential backoff, and a retry re-issues ONLY the jobs not yet
+// received: every key already emitted joins the re-issued request's
+// skip-set, and a count-based gate drops any record the server sends
+// again regardless, so a mid-stream reconnect never duplicates or
+// reorders records. (Keys appearing K times in the job list — a spec
+// with duplicate scenarios — are skipped only once all K copies
+// arrived; the gate emits at most K.)
+func (c *Client) Stream(ctx context.Context, req Request, emit EmitFunc) (int, error) {
+	jobs, err := req.Jobs()
+	if err != nil {
+		return 0, err
+	}
+	// remaining mirrors sweep.CompletedKeys' skip-set bookkeeping, but
+	// counted: a key is complete when every slot of the canonical order
+	// holding it has received its record.
+	remaining := make(map[string]int, len(jobs))
+	for _, j := range jobs {
+		remaining[j.Key()]++
+	}
+	outstanding := len(jobs)
+	n := 0
+	gate := func(rec sweep.Record) error {
+		left, known := remaining[rec.Key]
+		if !known {
+			return fmt.Errorf("client: record %q is not in the request's job list", rec.Key)
+		}
+		if left == 0 {
+			// Already received on a previous attempt; the re-issued
+			// stream may replay it (e.g. the server missed the skip),
+			// and dropping it here keeps the emission exactly-once.
+			return nil
+		}
+		remaining[rec.Key] = left - 1
+		outstanding--
+		n++
+		return emit(rec)
+	}
+
+	cur := req
+	for attempt := 0; ; attempt++ {
+		err := c.streamOnce(ctx, cur, gate)
+		if err == nil {
+			if outstanding != 0 {
+				return n, fmt.Errorf("client: server reported a complete sweep but %d of %d records never arrived", outstanding, len(jobs))
+			}
+			return n, nil
+		}
+		if !IsTransient(err) || attempt >= c.retries() || ctx.Err() != nil {
+			return n, err
+		}
+		if c.OnRetry != nil {
+			c.OnRetry()
+		}
+		if serr := c.sleepBackoff(ctx, attempt+1); serr != nil {
+			return n, serr
+		}
+		// Re-issue only what is still missing: fully-received keys move
+		// into the skip-set (partially-received duplicate keys re-stream
+		// whole; the gate trims them back to the missing count).
+		done := make(map[string]bool)
+		for k, left := range remaining {
+			if left == 0 {
+				done[k] = true
+			}
+		}
+		cur = req.WithSkip(done)
+	}
+}
+
+// readHTTPError extracts the server's JSON error document (or raw
+// body) from a non-200 response.
+func readHTTPError(resp *http.Response) string {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(msg))
+}
+
+// statusError folds a non-200 response into an error, transient for
+// 5xx (the backend may be draining or restarting) and permanent for
+// everything else (the request itself is bad).
+func statusError(op string, resp *http.Response) error {
+	err := fmt.Errorf("%s: %s: %s", op, resp.Status, readHTTPError(resp))
+	if resp.StatusCode >= 500 {
+		return &transientError{err}
+	}
+	return err
+}
+
+// streamOnce performs one attempt: one POST, one decoded stream, one
+// trailer check.
+func (c *Client) streamOnce(ctx context.Context, req Request, emit EmitFunc) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/v1/sweep"
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return &transientError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError("remote sweep", resp)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	n := 0
+	for {
+		var rec sweep.Record
+		if derr := dec.Decode(&rec); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return &transientError{fmt.Errorf("remote sweep: reading stream after %d records: %w", n, derr)}
+		}
+		if rec.Key == "" {
+			return fmt.Errorf("remote sweep: record %d has no key", n+1)
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+		n++
+	}
+
+	// The body is fully read, so the trailer is populated. A missing
+	// trailer means the stream was cut mid-flight (server died): the
+	// received prefix is valid, the rest is worth retrying.
+	switch st := resp.Trailer.Get("X-Sweep-Status"); st {
+	case "complete":
+		return nil
+	case "error":
+		return fmt.Errorf("remote sweep failed after %d records: %s", n, resp.Trailer.Get("X-Sweep-Error"))
+	default:
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &transientError{errors.New("remote sweep: stream ended without a completion trailer (server died mid-sweep?)")}
+	}
+}
+
+// RunJob executes one job on the backend via POST /v1/job and returns
+// its record. peerFill marks the request as a cluster peer-fill hop
+// (see PeerFillHeader); the receiving server then answers locally
+// instead of forwarding further. Transient failures retry with the
+// same backoff policy as Stream.
+func (c *Client) RunJob(ctx context.Context, j sweep.Job, peerFill bool) (sweep.Record, error) {
+	for attempt := 0; ; attempt++ {
+		rec, err := c.runJobOnce(ctx, j, peerFill)
+		if err == nil || !IsTransient(err) || attempt >= c.retries() || ctx.Err() != nil {
+			return rec, err
+		}
+		if c.OnRetry != nil {
+			c.OnRetry()
+		}
+		if serr := c.sleepBackoff(ctx, attempt+1); serr != nil {
+			return rec, serr
+		}
+	}
+}
+
+func (c *Client) runJobOnce(ctx context.Context, j sweep.Job, peerFill bool) (sweep.Record, error) {
+	var zero sweep.Record
+	body, err := json.Marshal(j)
+	if err != nil {
+		return zero, err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/v1/job"
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return zero, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if peerFill {
+		hr.Header.Set(PeerFillHeader, "1")
+	}
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return zero, &transientError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return zero, statusError("remote job", resp)
+	}
+	var rec sweep.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return zero, &transientError{fmt.Errorf("remote job: decoding record: %w", err)}
+	}
+	if want := j.Key(); rec.Key != want {
+		return zero, fmt.Errorf("remote job: server answered key %q for job %q (peer disagreement about job identity)", rec.Key, want)
+	}
+	return rec, nil
+}

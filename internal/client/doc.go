@@ -1,0 +1,35 @@
+// Package client is the typed HTTP client for the dtmserved sweep
+// protocol: the API surface every consumer of a served sweep — the
+// dtmsweep -remote path, the cluster router, a server peer-filling a
+// cache miss from the key's owner — programs against instead of
+// hand-rolling HTTP.
+//
+// The package has three layers:
+//
+//   - Wire types. Request is the POST /v1/sweep body (spec + shard
+//     selection + resume skip-set); the server imports it back under
+//     the SweepRequest alias, so the client and the handler can never
+//     disagree about the document. Request.Jobs expands the canonical
+//     job list — the ordering contract everything else builds on.
+//
+//   - Streamer. The one-method interface — Stream(ctx, req, emit) —
+//     over "run this sweep somewhere and deliver the records in
+//     canonical job order". *Client implements it against a single
+//     backend; cluster.Router implements it against N rendezvous-
+//     hashed backends. Callers pick single-node or cluster serving by
+//     constructor choice, not by code path.
+//
+//   - Client. The single-backend implementation: it POSTs the
+//     request, decodes the JSONL record stream, verifies the
+//     completion trailer (a failed stream's record prefix is
+//     indistinguishable from success without it), and retries
+//     transient failures with exponential backoff. A retry re-issues
+//     only the jobs not yet received: the keys already emitted join
+//     the request's skip-set, and a count-based dedup gate drops any
+//     record the server re-sends anyway, so a mid-stream reconnect
+//     can never duplicate or reorder what the caller sees.
+//
+// RunJob is the single-job counterpart (POST /v1/job) used by the
+// cluster peer-fill path; PeerFillHeader is the one-hop loop guard it
+// travels under. See docs/wire-format.md for the wire-level contract.
+package client

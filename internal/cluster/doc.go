@@ -1,0 +1,32 @@
+// Package cluster turns N independent dtmserved backends into one
+// horizontally scaled sweep service with the cache behavior of a
+// single giant node.
+//
+// The composition rests on one property the rest of the repo already
+// guarantees: job keys are deterministic (see ARCHITECTURE.md's
+// job-key determinism contract), so "which node owns this job" can be
+// a pure function of the key and the node set. Rendezvous
+// (highest-random-weight) hashing provides that function: every
+// participant — the client-side Router, and each server's peer-fill
+// path — computes Owner(nodes, key) independently and agrees, with no
+// coordinator, no ring state, and minimal churn (adding a node moves
+// only ~1/N of the keys, exactly the ones the new node now owns).
+//
+// Router implements client.Streamer over the backend set: it expands
+// the request's canonical job list, assigns every key to its owner,
+// streams the per-owner sub-requests concurrently (each sub-request is
+// the original spec with the other owners' keys in the skip-set, so
+// the job space stays one spec on the wire), and re-merges the
+// streams into canonical job order through sweep.OrderedSink — the
+// merged stream is byte-identical to what a single node would serve.
+// Each backend is watched by a jittered /healthz prober; when a
+// backend fails mid-sweep (after the client layer's own retries), its
+// unreceived keys re-route to their rendezvous runner-up.
+//
+// On the server side (internal/server), the same Owner function
+// drives peer-fill: a node holding a cache miss for a key it does not
+// own asks the owner once — one hop, loop-guarded by
+// client.PeerFillHeader — before simulating, so a sweep sent to the
+// "wrong" node (or re-routed around a death) is served from the
+// cluster's collective cache instead of stampeding recomputation.
+package cluster

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// weight returns the rendezvous weight of (node, key): a stable FNV-1a
+// hash of the node identity and the job key, separated by a byte that
+// can appear in neither (keys and URLs are printable). Stability
+// across processes is load-bearing — the client router and every
+// server's peer-fill path must agree on ownership without talking to
+// each other — which is why this is a fixed hash, not maphash.
+func weight(node, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the index of the highest-random-weight node for key:
+// the node that owns the key's cache entry and simulation. It is a
+// pure function of the node identities and the key — every caller
+// with the same node set agrees — and returns -1 for an empty set.
+// Ties (astronomically unlikely with 64-bit weights) break toward the
+// lexically smaller node identity so the choice stays order-
+// independent.
+func Owner(nodes []string, key string) int {
+	best := -1
+	var bestW uint64
+	for i, n := range nodes {
+		w := weight(n, key)
+		if best < 0 || w > bestW || (w == bestW && n < nodes[best]) {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// Rank returns the node indices ordered by descending rendezvous
+// weight for key: Rank(...)[0] is the owner, Rank(...)[1] the
+// runner-up a dead owner's keys re-route to, and so on. Like Owner it
+// is order-independent in the node slice (ties break lexically).
+func Rank(nodes []string, key string) []int {
+	idx := make([]int, len(nodes))
+	ws := make([]uint64, len(nodes))
+	for i, n := range nodes {
+		idx[i] = i
+		ws[i] = weight(n, key)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if ws[ia] != ws[ib] {
+			return ws[ia] > ws[ib]
+		}
+		return nodes[ia] < nodes[ib]
+	})
+	return idx
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("EXP-%d|Adapt3D|Web-med|r%d|s%d|cached|d30|rel", i%6, i, 40+i)
+	}
+	return keys
+}
+
+// TestOwnerOrderIndependent pins the coordinator-free property: every
+// participant must compute the same owner whatever order its node list
+// happens to be in.
+func TestOwnerOrderIndependent(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080", "http://d:8080"}
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range testKeys(200) {
+		want := nodes[Owner(nodes, k)]
+		shuffled := append([]string(nil), nodes...)
+		for trial := 0; trial < 5; trial++ {
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			if got := shuffled[Owner(shuffled, k)]; got != want {
+				t.Fatalf("key %s: owner %s under one order, %s under another", k, want, got)
+			}
+		}
+	}
+	if Owner(nil, "k") != -1 {
+		t.Error("empty node set should own nothing (-1)")
+	}
+}
+
+// TestRankIsOwnerFirstPermutation checks Rank against Owner and that it
+// permutes the full index set: position 0 is the owner and every node
+// appears exactly once, so the failover walk (owner, runner-up, ...)
+// always terminates and never skips a node.
+func TestRankIsOwnerFirstPermutation(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	for _, k := range testKeys(100) {
+		r := Rank(nodes, k)
+		if len(r) != len(nodes) {
+			t.Fatalf("key %s: Rank returned %d indices for %d nodes", k, len(r), len(nodes))
+		}
+		if r[0] != Owner(nodes, k) {
+			t.Fatalf("key %s: Rank[0]=%d but Owner=%d", k, r[0], Owner(nodes, k))
+		}
+		seen := make(map[int]bool)
+		for _, i := range r {
+			if i < 0 || i >= len(nodes) || seen[i] {
+				t.Fatalf("key %s: Rank %v is not a permutation", k, r)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestStabilityUnderNodeAddition is the rendezvous churn guarantee:
+// growing the cluster from N to N+1 nodes may move a key only TO the
+// new node (an old node can never steal from another old node), and
+// the moved fraction is ~1/(N+1).
+func TestStabilityUnderNodeAddition(t *testing.T) {
+	old := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	grown := append(append([]string(nil), old...), "http://d:8080")
+	keys := testKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		was, now := Owner(old, k), Owner(grown, k)
+		if old[was] == grown[now] {
+			continue
+		}
+		moved++
+		if grown[now] != "http://d:8080" {
+			t.Fatalf("key %s moved from %s to %s — only moves to the new node are allowed", k, old[was], grown[now])
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Expectation is 1/4; a binomial over 2000 keys stays comfortably
+	// inside [0.15, 0.35].
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("node addition moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestOwnerDistribution guards against a degenerate hash: each of 3
+// nodes should own a reasonable share of a large key population.
+func TestOwnerDistribution(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	counts := make([]int, len(nodes))
+	keys := testKeys(3000)
+	for _, k := range keys {
+		counts[Owner(nodes, k)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.2 || frac > 0.47 {
+			t.Errorf("node %s owns %.1f%% of keys, want roughly a third", nodes[i], 100*frac)
+		}
+	}
+}

@@ -55,22 +55,6 @@ type RunnerHooks struct {
 	// from ObserveTick; keep implementations to an atomic counter bump
 	// so the tick loop stays allocation-free.
 	Observer sim.Observer
-
-	// OnTick fires once per completed simulated tick across all runs.
-	//
-	// Deprecated: implement Observer instead. OnTick keeps working —
-	// it is adapted into the observer chain — but new code should use
-	// the interface, which also exposes per-tick temperatures.
-	OnTick func()
-}
-
-// observer folds the hooks into the single sim.Observer attached to
-// each run (nil when no hooks are set).
-func (h RunnerHooks) observer() sim.Observer {
-	if h.OnTick == nil {
-		return h.Observer
-	}
-	return sim.Observers(h.Observer, sim.FuncObserver{Tick: func(int) { h.OnTick() }})
 }
 
 // NewRunner returns the simulator-backed job runner. All runs launched
@@ -96,7 +80,7 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 // byte-identical to the per-job path's; pair it with GroupKey in
 // sweep.Options.
 func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
-	obs := hooks.observer()
+	obs := hooks.Observer
 	traces := workload.NewTraceCache()
 	cfgFor := func(j sweep.Job) (sim.Config, error) {
 		b, err := workload.ByName(j.Bench)

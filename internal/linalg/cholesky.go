@@ -270,11 +270,13 @@ func (f *Cholesky) SolvePanel(dst, rhs []float64, k int, scratch []float64) erro
 	return nil
 }
 
-// SolveMultiBuffered is SolveMulti with caller-provided scratch of
-// length n*len(cols), making repeated multi-RHS solves allocation-free.
-// The columns are solved as one lane-interleaved panel (one traversal
-// of L for all of them), with per-column results bitwise identical to
-// SolveBuffered. scratch must not alias any column.
+// SolveMultiBuffered solves A*X = B column by column, overwriting each
+// B column with its solution, using caller-provided scratch of length
+// n*len(cols) so repeated multi-RHS solves are allocation-free. The
+// columns are solved as one lane-interleaved panel (one traversal of L
+// for all of them), with per-column results bitwise identical to
+// SolveBuffered. scratch must not alias any column. For contiguous
+// lane-major panels use SolvePanel instead.
 func (f *Cholesky) SolveMultiBuffered(cols [][]float64, scratch []float64) error {
 	n, k := f.n, len(cols)
 	if k == 0 {
@@ -285,7 +287,7 @@ func (f *Cholesky) SolveMultiBuffered(cols [][]float64, scratch []float64) error
 	}
 	for ci, b := range cols {
 		if len(b) != n {
-			return fmt.Errorf("linalg: Cholesky.SolveMulti column %d has length %d, want %d", ci, len(b), n)
+			return fmt.Errorf("linalg: Cholesky.SolveMultiBuffered column %d has length %d, want %d", ci, len(b), n)
 		}
 	}
 	if k == 1 {
@@ -305,19 +307,6 @@ func (f *Cholesky) SolveMultiBuffered(cols [][]float64, scratch []float64) error
 		}
 	}
 	return nil
-}
-
-// SolveMulti solves A*X = B column by column, overwriting each B column
-// with its solution. The columns advance through one blocked traversal
-// of L (see SolvePanel) instead of one triangular sweep each.
-//
-// Deprecated: SolveMulti allocates its n*k panel scratch on every
-// call. Hold the scratch yourself and use SolveMultiBuffered (or
-// SolvePanel for contiguous lane-major panels); the shim remains only
-// so existing call sites keep compiling and for the equivalence tests
-// that pin it to the buffered path.
-func (f *Cholesky) SolveMulti(cols [][]float64) error {
-	return f.SolveMultiBuffered(cols, make([]float64, f.n*len(cols)))
 }
 
 // solvePanelScratch runs the permuted forward/diagonal/backward sweeps

@@ -137,7 +137,7 @@ func TestCholeskySolveMulti(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := f.SolveMulti(cols); err != nil {
+	if err := f.SolveMultiBuffered(cols, make([]float64, n*k)); err != nil {
 		t.Fatal(err)
 	}
 	for c := range cols {
@@ -385,10 +385,10 @@ func TestCholeskySolvePanelValidation(t *testing.T) {
 	}
 }
 
-// TestCholeskySolveMultiMatchesBuffered extends the SolveMulti pin: the
-// compat shim must agree bitwise with repeated SolveBuffered calls, and
-// the buffered variants must not allocate — SolveMulti's historical
-// per-call scratch make() was a leak in the tick path.
+// TestCholeskySolveMultiMatchesBuffered extends the multi-RHS pin: the
+// panel path must agree bitwise with repeated SolveBuffered calls, and
+// the buffered variants must not allocate — the removed SolveMulti
+// shim's per-call scratch make() was a leak in the tick path.
 func TestCholeskySolveMultiMatchesBuffered(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	const n, k = 40, 3

@@ -30,8 +30,8 @@
 // results are bitwise identical to k scalar solves — the contract the
 // batched transient stepping in internal/thermal builds on.
 // SolveMultiBuffered adapts scattered column slices onto the same
-// kernel; the allocating SolveMulti shim is deprecated in its favour
-// and kept only for compatibility.
+// kernel with caller-provided scratch, keeping repeated multi-RHS
+// solves allocation-free.
 //
 // # Buffer ownership and concurrency
 //

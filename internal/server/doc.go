@@ -37,4 +37,19 @@
 // workers and handlers without contention; the tick observer fires
 // roughly every 17 µs per worker). Handlers run on net/http's goroutines; simulation
 // runs only on the worker pool.
+//
+// # Cluster peer-fill
+//
+// With Config.Peers set, N servers compose into one cluster whose
+// collective cache behaves like a single giant node's: every job key
+// has a rendezvous-hashed owner (cluster.Owner over the peer list),
+// and a cache miss for a key another node owns is resolved by POSTing
+// the job to the owner's /v1/job before falling back to a local run.
+// Peer-fill requests carry client.PeerFillHeader and are answered with
+// local work only — the one-hop loop guard — so inconsistent peer
+// lists cost at most one extra hop, never a cycle. A dead owner
+// degrades locality, not correctness: the job reroutes to a local
+// simulation and the rerouted_jobs_total counter moves. The client
+// side of the composition is cluster.Router (internal/cluster), which
+// partitions sweeps across owners and re-merges the streams.
 package server

@@ -36,6 +36,15 @@ type Metrics struct {
 	CacheEntries  int   `json:"cache_entries"`
 	CacheCapacity int   `json:"cache_capacity"`
 
+	// Cluster peer-fill accounting (all zero on a single-node server).
+	// PeerFills counts cache misses resolved by fetching the record
+	// from the key's rendezvous owner; BackendRetries counts transient-
+	// failure retries of those peer fetches; ReroutedJobs counts peer
+	// fetches that gave up on the owner and ran the job locally.
+	PeerFills      int64 `json:"peer_fills_total"`
+	BackendRetries int64 `json:"backend_retries_total"`
+	ReroutedJobs   int64 `json:"rerouted_jobs_total"`
+
 	// Simulation throughput: total simulated ticks executed by this
 	// process and their average rate over the uptime. SimTicks is the
 	// ground truth for "did that request actually simulate anything" —
@@ -71,6 +80,9 @@ type counters struct {
 	cacheHits       atomic.Int64
 	cacheMisses     atomic.Int64
 	inflightJoins   atomic.Int64
+	peerFills       atomic.Int64
+	backendRetries  atomic.Int64
+	reroutedJobs    atomic.Int64
 	simTicks        atomic.Int64
 	reliabilityJobs atomic.Int64
 	damageTotal     atomicFloat
@@ -131,6 +143,9 @@ func (c *counters) snapshot(workers int) Metrics {
 		CacheHits:      c.cacheHits.Load(),
 		CacheMisses:    c.cacheMisses.Load(),
 		InflightJoins:  c.inflightJoins.Load(),
+		PeerFills:      c.peerFills.Load(),
+		BackendRetries: c.backendRetries.Load(),
+		ReroutedJobs:   c.reroutedJobs.Load(),
 		SimTicks:       ticks,
 		TicksPerSecond: tps,
 

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/floorplan"
 	"repro/internal/sim"
@@ -37,6 +39,23 @@ type Config struct {
 	// stream starts — a bad roster must not fail halfway through a
 	// half-simulated response.
 	ValidateJob func(sweep.Job) error
+	// Peers is the cluster's full node list (base URLs, including this
+	// node's own as spelled in Self). When set, a cache miss for a job
+	// key another node owns (cluster.Owner over Peers) is peer-filled:
+	// fetched from the owner via POST /v1/job before falling back to a
+	// local run. Empty means single-node, no peer-fill. Every node and
+	// every router must spell the list identically for ownership to
+	// agree.
+	Peers []string
+	// Self is this node's own base URL exactly as it appears in Peers.
+	// Ignored when Peers is empty; when Peers is set, a Self that is
+	// not in the list disables peer-fill (the node cannot know which
+	// keys are its own).
+	Self string
+	// PeerClient builds the client used for peer-fill fetches (nil:
+	// client.New with default retry tuning). Tests inject clients with
+	// tight backoff here.
+	PeerClient func(baseURL string) *client.Client
 }
 
 // call is one running (or queued) job and everything needed to share
@@ -51,6 +70,10 @@ type call struct {
 	done   chan struct{}
 	rec    sweep.Record // valid after done closes, when err is nil
 	err    error
+	// peerOK permits resolving this call by asking the key's owner
+	// (false when the request that created the call was itself a
+	// peer-fill hop — the one-hop loop guard).
+	peerOK bool
 }
 
 // Server is the HTTP sweep service. Create with New, expose Handler on
@@ -65,6 +88,13 @@ type Server struct {
 	baseCancel context.CancelFunc
 	tasks      chan *call
 	wg         sync.WaitGroup
+
+	// Cluster membership for peer-fill, fixed at construction. self is
+	// the index of this node in peers, or -1 when peer-fill is off;
+	// peerClients is index-aligned with peers (nil at self).
+	peers       []string
+	self        int
+	peerClients []*client.Client
 
 	mu       sync.Mutex // guards cache and inflight together
 	cache    *lruCache
@@ -102,6 +132,35 @@ func New(cfg Config) *Server {
 	if s.validate == nil {
 		s.validate = defaultValidateJob
 	}
+	s.self = -1
+	if len(cfg.Peers) > 1 {
+		newClient := cfg.PeerClient
+		if newClient == nil {
+			newClient = client.New
+		}
+		s.peers = cfg.Peers
+		s.peerClients = make([]*client.Client, len(cfg.Peers))
+		for i, p := range cfg.Peers {
+			if p == cfg.Self {
+				s.self = i
+				continue
+			}
+			c := newClient(p)
+			prev := c.OnRetry
+			c.OnRetry = func() {
+				s.met.backendRetries.Add(1)
+				if prev != nil {
+					prev()
+				}
+			}
+			s.peerClients[i] = c
+		}
+		if s.self < 0 {
+			// This node cannot locate itself in the peer list, so it
+			// cannot tell which keys it owns; peer-fill stays off.
+			s.peers, s.peerClients = nil, nil
+		}
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -131,6 +190,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/job", s.handleJob)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
 }
@@ -143,7 +203,7 @@ func (s *Server) worker() {
 		case c := <-s.tasks:
 			s.met.queueDepth.Add(-1)
 			s.met.activeJobs.Add(1)
-			rec, err := s.runner(c.ctx, c.job)
+			rec, err := s.runJob(c)
 			s.met.activeJobs.Add(-1)
 			// Strip the wall-clock field: served streams are a pure
 			// function of the spec, and a cached record must be
@@ -156,10 +216,48 @@ func (s *Server) worker() {
 	}
 }
 
+// runJob resolves one cache-missed call: peer-fill from the key's
+// rendezvous owner when another node owns it (one hop, and only for
+// calls that did not themselves arrive as a peer-fill), local
+// simulation otherwise. An unreachable owner is not fatal — the job
+// re-routes to a local run and the rerouted counter moves — so a dead
+// peer degrades cache locality, never correctness.
+func (s *Server) runJob(c *call) (sweep.Record, error) {
+	if pc := s.peerFor(c); pc != nil {
+		rec, err := pc.RunJob(c.ctx, c.job, true)
+		if err == nil {
+			s.met.peerFills.Add(1)
+			return rec, nil
+		}
+		if c.ctx.Err() != nil {
+			return sweep.Record{}, c.ctx.Err()
+		}
+		s.met.reroutedJobs.Add(1)
+	}
+	return s.runner(c.ctx, c.job)
+}
+
+// peerFor returns the client to peer-fill c through, or nil when the
+// job must run locally: no cluster configured, this node owns the key,
+// or the call's request carried client.PeerFillHeader (the one-hop
+// loop guard — a peer-originated request is answered with local work,
+// so inconsistent peer lists cost at most one extra hop, never a
+// cycle).
+func (s *Server) peerFor(c *call) *client.Client {
+	if len(s.peers) == 0 || !c.peerOK {
+		return nil
+	}
+	o := cluster.Owner(s.peers, c.key)
+	if o < 0 || o == s.self {
+		return nil
+	}
+	return s.peerClients[o]
+}
+
 // acquire resolves one job to either a cached record (pending.c nil)
 // or a refcounted call: joining the in-flight run when one exists,
 // otherwise creating and scheduling a new one.
-func (s *Server) acquire(j sweep.Job) pending {
+func (s *Server) acquire(j sweep.Job, peerOK bool) pending {
 	key := j.Key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -173,7 +271,7 @@ func (s *Server) acquire(j sweep.Job) pending {
 		return pending{c: c}
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	c := &call{key: key, job: j, ctx: ctx, cancel: cancel, refs: 1, done: make(chan struct{})}
+	c := &call{key: key, job: j, ctx: ctx, cancel: cancel, refs: 1, done: make(chan struct{}), peerOK: peerOK}
 	s.inflight[key] = c
 	s.met.cacheMisses.Add(1)
 	s.met.queueDepth.Add(1)
@@ -258,44 +356,10 @@ type pending struct {
 // SweepRequest is the POST /v1/sweep body: the declarative spec plus
 // optional sharding and a resume skip-set, mirroring dtmsweep's local
 // sweep mode so a workflow can swap `-out jsonl` for `-remote` without
-// changing what runs.
-type SweepRequest struct {
-	Spec sweep.Spec `json:"spec"`
-	// ShardIndex/ShardCount select shard index-of-count of the job
-	// list by stable job hash; zero ShardCount means the whole sweep.
-	ShardIndex int `json:"shard_index,omitempty"`
-	ShardCount int `json:"shard_count,omitempty"`
-	// SkipKeys are completed job keys (from a local checkpoint); they
-	// are neither run nor re-emitted.
-	SkipKeys []string `json:"skip_keys,omitempty"`
-}
-
-// Jobs expands the request into its canonical job list.
-func (r SweepRequest) Jobs() ([]sweep.Job, error) {
-	jobs := r.Spec.Expand()
-	if r.ShardCount > 0 {
-		var err error
-		if jobs, err = sweep.Shard(jobs, r.ShardIndex, r.ShardCount); err != nil {
-			return nil, err
-		}
-	} else if r.ShardIndex != 0 {
-		return nil, fmt.Errorf("shard_index %d without shard_count", r.ShardIndex)
-	}
-	if len(r.SkipKeys) > 0 {
-		skip := make(map[string]bool, len(r.SkipKeys))
-		for _, k := range r.SkipKeys {
-			skip[k] = true
-		}
-		kept := jobs[:0]
-		for _, j := range jobs {
-			if !skip[j.Key()] {
-				kept = append(kept, j)
-			}
-		}
-		jobs = kept
-	}
-	return jobs, nil
-}
+// changing what runs. The type lives in internal/client (the canonical
+// home of the wire contract, shared with the cluster router); the alias
+// keeps the server API spelling.
+type SweepRequest = client.Request
 
 // Resource limits for the default validator. They bound what one
 // validated job can cost a worker: an unbounded grid builds (and
@@ -381,6 +445,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `dtmserved: thermal-simulation sweep service
 
 POST /v1/sweep   submit a sweep spec, stream records back (JSONL; SSE with Accept: text/event-stream)
+POST /v1/job     run one job, answer its record (cluster peer-fill path)
 GET  /healthz    liveness
 GET  /metrics    JSON counters (jobs, queue, cache, tick throughput)
 `)
@@ -483,9 +548,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Acquire every slot up front so identical jobs inside one request
 	// dedup against each other too, then stream in canonical order.
+	peerOK := r.Header.Get(client.PeerFillHeader) == ""
 	acquired := make([]pending, len(jobs))
 	for i, j := range jobs {
-		acquired[i] = s.acquire(j)
+		acquired[i] = s.acquire(j, peerOK)
 	}
 	s.met.jobsSubmitted.Add(int64(len(jobs)))
 	releaseFrom := func(i int) {
@@ -526,4 +592,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st.done(len(acquired))
+}
+
+// handleJob runs a single job (POST /v1/job, body: one sweep.Job) and
+// answers its record as one JSON document. It is the cluster peer-fill
+// path: a node resolving a cache miss for a key it does not own calls
+// the owner here. The job goes through the same validation, dedup, and
+// cache as a sweep slot, so a peer-filled record is indistinguishable
+// from a streamed one. Requests carrying client.PeerFillHeader are
+// answered with local work only (the one-hop loop guard).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	if s.draining.Load() || s.baseCtx.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var j sweep.Job
+	if err := dec.Decode(&j); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	if err := s.validate(j); err != nil {
+		httpError(w, http.StatusBadRequest, "job %s: %v", j.Key(), err)
+		return
+	}
+	peerOK := r.Header.Get(client.PeerFillHeader) == ""
+	p := s.acquire(j, peerOK)
+	s.met.jobsSubmitted.Add(1)
+	rec := p.rec
+	if p.c != nil {
+		select {
+		case <-p.c.done:
+			rec = p.c.rec
+			err := p.c.err
+			s.release(p.c)
+			if err != nil {
+				// 5xx: the failure may be this process's (cancellation,
+				// resource pressure), so the peer should retry or fall
+				// back to running the job itself.
+				httpError(w, http.StatusInternalServerError, "job %s: %v", j.Key(), err)
+				return
+			}
+		case <-r.Context().Done():
+			s.release(p.c)
+			return
+		}
+	}
+	rec.Baseline = j.Baseline
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec)
 }

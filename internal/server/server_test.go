@@ -415,13 +415,13 @@ func TestReleaseRetiresInflightCall(t *testing.T) {
 	defer s.Stop()
 
 	j := smallSpec().Expand()[0]
-	p1 := s.acquire(j)
+	p1 := s.acquire(j, true)
 	if p1.c == nil {
 		t.Fatal("first acquire should create a call")
 	}
 	s.release(p1.c) // last holder disconnects; the call is doomed
 
-	p2 := s.acquire(j)
+	p2 := s.acquire(j, true)
 	if p2.c == nil {
 		t.Fatal("second acquire should create a call, not hit the cache")
 	}

@@ -103,15 +103,15 @@ func RunBatch(cfgs []Config) ([]*Result, error) {
 }
 
 // RunBatchContext is RunBatch with one context governing every run in
-// the batch, polled per tick like RunContext. A non-nil ctx takes
-// precedence over the configs' deprecated Ctx fields.
+// the batch, polled per tick like RunContext.
 func RunBatchContext(ctx context.Context, cfgs []Config) ([]*Result, error) {
 	if ctx != nil {
-		// Copy before rewriting Ctx: the caller's configs stay untouched.
+		// Copy before rewriting the context: the caller's configs stay
+		// untouched.
 		cp := make([]Config, len(cfgs))
 		copy(cp, cfgs)
 		for i := range cp {
-			cp[i].Ctx = ctx
+			cp[i].ctx = ctx
 		}
 		cfgs = cp
 	}

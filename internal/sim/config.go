@@ -103,37 +103,15 @@ type Config struct {
 
 	// Observer, when non-nil, receives the per-tick observations (see
 	// the Observer interface for the delivery order and the
-	// cheap/non-blocking/no-retention contract). It replaces the OnTick
-	// and OnTemps callback fields; when any of those are also set, the
-	// engine delivers to both — the deprecated hooks keep working
-	// through an adapter.
+	// cheap/non-blocking/no-retention contract). Compose several with
+	// Observers; adapt bare functions with FuncObserver.
 	Observer Observer
 
-	// Ctx, when non-nil, is polled once per simulated tick; canceling
-	// it aborts the run with the context's error.
-	//
-	// Deprecated: pass the context to RunContext instead, which takes
-	// precedence over this field. Ctx remains so existing call sites
-	// keep compiling and behaving identically.
-	Ctx context.Context
-
-	// OnTick, when non-nil, is invoked once after every completed
-	// simulated tick with the number of ticks completed so far (1-based).
-	//
-	// Deprecated: implement Observer.ObserveTick instead (FuncObserver
-	// adapts a bare function). The field keeps working through the
-	// compatibility adapter and observes the same point in the tick.
-	OnTick func(ticksCompleted int)
-
-	// OnTemps, when non-nil, is invoked once after every completed tick
-	// with the block and core temperature fields of that tick. The
-	// slices are engine-owned scratch, valid only for the duration of
-	// the call.
-	//
-	// Deprecated: implement Observer.ObserveTemps instead (FuncObserver
-	// adapts a bare function). The field keeps working through the
-	// compatibility adapter and observes the same point in the tick.
-	OnTemps func(blockTempsC, coreTempsC []float64)
+	// ctx, when non-nil, is polled once per simulated tick; canceling
+	// it aborts the run with the context's error. It is set by
+	// RunContext/RunBatchContext — cancellation flows through those
+	// entry points, never through an exported field.
+	ctx context.Context
 }
 
 // withDefaults fills in the paper's settings and validates.

@@ -35,10 +35,9 @@
 // # Hooks and buffer ownership
 //
 // Per-tick observation goes through the Observer interface
-// (Config.Observer); the legacy Config.OnTick/Config.OnTemps fields
-// remain as deprecated adapters into the same chain. Observer methods
-// run on the simulation goroutine and must be cheap, non-blocking, and
-// allocation-free. The slices passed to ObserveTemps are engine-owned
+// (Config.Observer); compose several with Observers, adapt bare
+// functions with FuncObserver. Observer methods run on the simulation
+// goroutine and must be cheap, non-blocking, and allocation-free. The slices passed to ObserveTemps are engine-owned
 // scratch, valid only for the duration of the call — fold them into
 // caller state, never retain them. Policy TickDecision slices are
 // policy-owned and copied by the engine immediately (see

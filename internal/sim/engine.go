@@ -249,8 +249,7 @@ type Engine struct {
 }
 
 // Run executes one simulation. Prefer RunContext when the run should
-// be cancelable; Run remains for contexts-free callers and honors the
-// deprecated Config.Ctx field.
+// be cancelable; Run remains for context-free callers.
 func Run(cfg Config) (*Result, error) {
 	e, err := newEngine(cfg)
 	if err != nil {
@@ -261,11 +260,10 @@ func Run(cfg Config) (*Result, error) {
 
 // RunContext is the canonical run entry: it executes one simulation,
 // polling ctx once per simulated tick and aborting with its error on
-// cancellation. A non-nil ctx takes precedence over the deprecated
-// Config.Ctx field.
+// cancellation.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx != nil {
-		cfg.Ctx = ctx
+		cfg.ctx = ctx
 	}
 	return Run(cfg)
 }
@@ -469,10 +467,10 @@ func newEngine(cfg Config) (*Engine, error) {
 		ThresholdC: cfg.ThresholdC,
 		TprefC:     cfg.TprefC,
 	}
-	if cfg.Ctx != nil {
-		e.done = cfg.Ctx.Done()
+	if cfg.ctx != nil {
+		e.done = cfg.ctx.Done()
 	}
-	e.obs = cfg.observer()
+	e.obs = cfg.Observer
 	e.attachRollout()
 	return e, nil
 }
@@ -543,7 +541,7 @@ func (e *Engine) tickPre(tick int) error {
 	cfg := &e.cfg
 	select {
 	case <-e.done:
-		return cfg.Ctx.Err()
+		return cfg.ctx.Err()
 	default:
 	}
 	now := float64(tick) * cfg.TickS

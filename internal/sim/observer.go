@@ -1,18 +1,17 @@
 package sim
 
-// Observer is the consolidated per-tick observation interface: one
-// value receives everything the engine used to deliver through the
-// separate Config.OnTick and Config.OnTemps callback fields. Both
-// methods run on the simulation goroutine once per completed tick, in
-// a fixed order: ObserveTemps first (with that tick's temperature
+// Observer is the per-tick observation interface: one value receives
+// everything the engine exposes about a completed tick. Both methods
+// run on the simulation goroutine once per completed tick, in a fixed
+// order: ObserveTemps first (with that tick's temperature
 // fields), then — after the tick counter advances — ObserveTick with
 // the 1-based completed-tick count.
 //
-// Contract (identical to the hooks it replaces): implementations must
-// be cheap, non-blocking, and allocation-free, or they break the tick
-// loop's allocation contract; the slices passed to ObserveTemps are
-// engine-owned scratch, valid only for the duration of the call — read
-// and fold into your own state, do not retain or mutate them.
+// Contract: implementations must be cheap, non-blocking, and
+// allocation-free, or they break the tick loop's allocation contract;
+// the slices passed to ObserveTemps are engine-owned scratch, valid
+// only for the duration of the call — read and fold into your own
+// state, do not retain or mutate them.
 type Observer interface {
 	// ObserveTick is called once after every completed simulated tick
 	// with the number of ticks completed so far (1-based).
@@ -25,9 +24,8 @@ type Observer interface {
 }
 
 // FuncObserver adapts bare functions to Observer; nil fields are
-// skipped. It is both the migration shim for the deprecated
-// Config.OnTick/OnTemps fields and the convenient way to observe only
-// one of the two signals.
+// skipped. It is the convenient way to observe only one of the two
+// signals.
 type FuncObserver struct {
 	Tick  func(ticksCompleted int)
 	Temps func(blockTempsC, coreTempsC []float64)
@@ -80,19 +78,4 @@ func Observers(obs ...Observer) Observer {
 		return list[0]
 	}
 	return multiObserver(list)
-}
-
-// observer resolves the effective observer for a config: the Observer
-// field, combined with an adapter over the deprecated OnTick/OnTemps
-// callbacks when any are still set, so old call sites keep working
-// unchanged.
-func (c *Config) observer() Observer {
-	if c.OnTick == nil && c.OnTemps == nil {
-		return c.Observer
-	}
-	legacy := FuncObserver{Tick: c.OnTick, Temps: c.OnTemps}
-	if c.Observer == nil {
-		return legacy
-	}
-	return Observers(c.Observer, legacy)
 }

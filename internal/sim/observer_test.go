@@ -6,59 +6,63 @@ import (
 	"repro/internal/policy"
 )
 
-// TestDeprecatedHookAdapter keeps the legacy Config.OnTick/OnTemps
-// compatibility path covered now that no in-repo caller uses it: the
-// deprecated callbacks must keep firing (alongside any Observer) until
-// the fields are removed.
-func TestDeprecatedHookAdapter(t *testing.T) {
+// TestObserverDelivery pins the Observer contract end to end: both
+// methods fire once per completed tick, ObserveTemps carries non-empty
+// engine temperature fields, and composed observers (Observers) each
+// receive every observation.
+func TestObserverDelivery(t *testing.T) {
 	cfg := shortCfg(t, policy.NewDefault())
-	var tickCalls, tempCalls, obsTickCalls int
-	cfg.OnTick = func(int) { tickCalls++ }
-	cfg.OnTemps = func(blockTempsC, coreTempsC []float64) {
-		tempCalls++
-		if len(blockTempsC) == 0 || len(coreTempsC) == 0 {
-			t.Error("OnTemps delivered empty temperature vectors")
-		}
+	var tickCalls, tempCalls, secondTickCalls int
+	primary := FuncObserver{
+		Tick: func(n int) {
+			tickCalls++
+			if n != tickCalls {
+				t.Errorf("ObserveTick reported %d completed ticks, want %d", n, tickCalls)
+			}
+		},
+		Temps: func(blockTempsC, coreTempsC []float64) {
+			tempCalls++
+			if len(blockTempsC) == 0 || len(coreTempsC) == 0 {
+				t.Error("ObserveTemps delivered empty temperature vectors")
+			}
+		},
 	}
-	cfg.Observer = FuncObserver{Tick: func(int) { obsTickCalls++ }}
+	cfg.Observer = Observers(primary, FuncObserver{Tick: func(int) { secondTickCalls++ }})
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tickCalls != res.Ticks || tempCalls != res.Ticks {
-		t.Errorf("deprecated hooks fired %d/%d times over %d ticks", tickCalls, tempCalls, res.Ticks)
+		t.Errorf("observer fired tick=%d temps=%d times over %d ticks", tickCalls, tempCalls, res.Ticks)
 	}
-	if obsTickCalls != res.Ticks {
-		t.Errorf("Observer fired %d times over %d ticks when combined with deprecated hooks", obsTickCalls, res.Ticks)
+	if secondTickCalls != res.Ticks {
+		t.Errorf("second composed observer fired %d times over %d ticks", secondTickCalls, res.Ticks)
 	}
 }
 
-// TestObserverResolution pins the Config.observer() resolution rules
-// directly: no hooks → the Observer field verbatim (including nil);
-// any deprecated hook set → a combined observer that still delivers
-// both signals.
-func TestObserverResolution(t *testing.T) {
-	var c Config
-	if c.observer() != nil {
-		t.Error("empty config resolved a non-nil observer")
+// TestObserversComposition pins the Observers combinator's edge cases:
+// no (or all-nil) observers fold to nil so the result can go straight
+// into Config.Observer, a single observer passes through, and a fan-out
+// delivers both signals to every member.
+func TestObserversComposition(t *testing.T) {
+	if Observers() != nil {
+		t.Error("Observers() should be nil")
 	}
-	want := FuncObserver{Tick: func(int) {}}
-	c.Observer = want
-	if got := c.observer(); got == nil {
-		t.Error("Observer-only config resolved nil")
+	if Observers(nil, nil) != nil {
+		t.Error("Observers(nil, nil) should be nil")
+	}
+	single := FuncObserver{Tick: func(int) {}}
+	if got := Observers(nil, single); got == nil {
+		t.Error("single observer folded to nil")
 	}
 	ticks, temps := 0, 0
-	c = Config{
-		OnTick:  func(int) { ticks++ },
-		OnTemps: func(_, _ []float64) { temps++ },
-	}
-	o := c.observer()
-	if o == nil {
-		t.Fatal("hook-only config resolved nil observer")
-	}
+	o := Observers(
+		FuncObserver{Tick: func(int) { ticks++ }},
+		FuncObserver{Temps: func(_, _ []float64) { temps++ }},
+	)
 	o.ObserveTick(1)
 	o.ObserveTemps([]float64{1}, []float64{1})
 	if ticks != 1 || temps != 1 {
-		t.Errorf("adapter delivered ticks=%d temps=%d, want 1/1", ticks, temps)
+		t.Errorf("fan-out delivered ticks=%d temps=%d, want 1/1", ticks, temps)
 	}
 }

@@ -249,10 +249,8 @@ func (e *Engine) fork(pol policy.Policy) (*Engine, error) {
 	cfg := e.cfg
 	cfg.Policy = pol
 	cfg.TraceWriter = nil
-	cfg.Ctx = nil
+	cfg.ctx = nil
 	cfg.Observer = nil
-	cfg.OnTick = nil
-	cfg.OnTemps = nil
 
 	n := e.n
 	f := &Engine{

@@ -240,25 +240,29 @@ func (s Spec) ReplicateSeed(r int) int64 {
 	return s.Seed + int64(r)*stride
 }
 
-// Job is one fully-specified simulation run of a sweep.
+// Job is one fully-specified simulation run of a sweep. It carries
+// JSON tags (mirroring Record's field names) because jobs travel on
+// the wire standalone: the cluster peer-fill path POSTs one Job to the
+// key's owner node, and the round-tripped job must reproduce the exact
+// Key() the sender computed.
 type Job struct {
-	Scenario  Scenario
-	Policy    string
-	Bench     string
-	Replicate int
+	Scenario  Scenario `json:"scenario"`
+	Policy    string   `json:"policy"`
+	Bench     string   `json:"bench"`
+	Replicate int      `json:"replicate"`
 	// Seed is the replicate's base seed (trace generation additionally
 	// offsets it by the benchmark ID, as exp.Run always has).
-	Seed      int64
-	Solver    thermal.SolverKind
-	DurationS float64
-	UseDPM    bool
+	Seed      int64              `json:"seed"`
+	Solver    thermal.SolverKind `json:"solver"`
+	DurationS float64            `json:"duration_s"`
+	UseDPM    bool               `json:"use_dpm,omitempty"`
 	// Reliability runs the job with the streaming lifetime tracker and
 	// fills the record's rel_* fields.
-	Reliability bool
+	Reliability bool `json:"reliability,omitempty"`
 	// Baseline marks a reference run appended by Expand because the
 	// baseline policy was not part of Spec.Policies; aggregators use it
 	// for normalization but do not report it as a cell.
-	Baseline bool
+	Baseline bool `json:"baseline,omitempty"`
 }
 
 // Key returns the job's stable identity: equal for the same logical
