@@ -9,7 +9,12 @@
 #      result cache: the hit counter increments and not one new
 #      simulated tick is recorded.
 #   3. SSE framing delivers every record plus a terminal done event.
-#   4. SIGTERM drains gracefully (exit 0).
+#   3b. An interactive session — frames streamed live, events injected
+#      mid-run — replays from its event log byte-identically (plain
+#      and reliability-enabled), checkpoint seeks serve the tail only,
+#      and the session metrics account for every engine.
+#   4. SIGTERM drains gracefully (exit 0), closing a live session
+#      mid-stream with a terminal closed event.
 #   5. A 3-node cluster (booted on ephemeral ports via -peers-file,
 #      swept via dtmsweep -remote a,b,c) streams byte-identically to a
 #      direct run; a follow-up sweep against ONE node is served from
@@ -19,7 +24,9 @@
 #
 # Sub-rounds of 2 additionally pin reliability streams (2b),
 # model-predictive policies (2c), and declarative -stack sweeps with
-# inline specs (2d) byte-identical across the HTTP path.
+# inline specs (2d) byte-identical across the HTTP path. Sub-round 5e
+# replays the drained session's log on a cluster node and proves the
+# closed live stream is a byte prefix of the full replay.
 #
 # Run from the repo root: sh .github/e2e_served.sh
 # Needs: go, curl, jq.
@@ -168,13 +175,97 @@ curl -sf -H 'Accept: text/event-stream' -d "$BODY" "http://$ADDR/v1/sweep" >"$WO
 	fail "SSE stream lost records"
 grep -q '^event: done$' "$WORKDIR/sse.txt" || fail "SSE stream has no done event"
 
-echo "e2e: 4/5 graceful drain on SIGTERM"
+echo "e2e: 3b/5 interactive session: live stream == replayed event log"
+# Open a paced 20-tick session, watch it over SSE, and steer it
+# mid-run (a TSV failure, then a policy swap). The stream must end
+# with a done terminal, and replaying the recorded event log through
+# POST /v1/session/replay must reproduce the live stream byte for
+# byte — the session-layer determinism contract.
+SBODY='{"job":{"scenario":{"exp":"EXP-2"},"policy":"DVFS_TT","bench":"Web-med","seed":1,"duration_s":2},"cadence_ticks":1,"ticks_per_sec":10}'
+SID=$(curl -sf -d "$SBODY" "http://$ADDR/v1/session" | jq -re .id) || fail "session open failed"
+curl -sfN "http://$ADDR/v1/session/$SID/stream" >"$WORKDIR/live.sse" &
+STREAM_PID=$!
+sleep 0.6
+curl -sf -d '{"type":"fail_tsv","factor":4}' \
+	"http://$ADDR/v1/session/$SID/event" >/dev/null || fail "fail_tsv event rejected mid-run"
+sleep 0.5
+curl -sf -d '{"type":"set_policy","policy":"Adapt3D"}' \
+	"http://$ADDR/v1/session/$SID/event" >/dev/null || fail "set_policy event rejected mid-run"
+wait "$STREAM_PID" || fail "session stream client failed"
+grep -q '^event: done$' "$WORKDIR/live.sse" || fail "session stream has no done terminal"
+[ "$(grep -c '^event: frame$' "$WORKDIR/live.sse")" -eq 20 ] ||
+	fail "session streamed $(grep -c '^event: frame$' "$WORKDIR/live.sse") frames, want 20"
+curl -sf "http://$ADDR/v1/session/$SID/log" >"$WORKDIR/session.ndjson" || fail "session log fetch failed"
+[ "$(wc -l <"$WORKDIR/session.ndjson")" -eq 3 ] ||
+	fail "session log holds $(wc -l <"$WORKDIR/session.ndjson") records, want header + 2 events"
+curl -sf --data-binary @"$WORKDIR/session.ndjson" \
+	"http://$ADDR/v1/session/replay" >"$WORKDIR/replay.sse" || fail "session replay failed"
+cmp -s "$WORKDIR/live.sse" "$WORKDIR/replay.sse" ||
+	fail "replayed session differs from the live stream (session determinism drift)"
+
+# Checkpoint seek: replay-from-tick-10 must serve the back half only.
+curl -sf "http://$ADDR/v1/session/$SID/replay?from_tick=10" >"$WORKDIR/seek.sse" ||
+	fail "session seek failed"
+grep -q '"tick":10,' "$WORKDIR/seek.sse" || fail "seek stream is missing tick 10"
+! grep -q '"tick":5,' "$WORKDIR/seek.sse" || fail "seek from tick 10 streamed tick 5"
+grep -q '^event: done$' "$WORKDIR/seek.sse" || fail "seek stream has no done terminal"
+
+# Reliability variant: the wear tracker rides the session, a mid-run
+# TSV failure lands in the log, and the replay still matches.
+RBODY='{"job":{"scenario":{"exp":"EXP-2"},"policy":"DVFS_TT","bench":"Web-med","seed":1,"duration_s":2,"reliability":true},"cadence_ticks":1,"ticks_per_sec":10}'
+RSID=$(curl -sf -d "$RBODY" "http://$ADDR/v1/session" | jq -re .id) || fail "reliability session open failed"
+curl -sfN "http://$ADDR/v1/session/$RSID/stream" >"$WORKDIR/live_rel.sse" &
+STREAM_PID=$!
+sleep 0.6
+curl -sf -d '{"type":"fail_tsv","factor":4}' \
+	"http://$ADDR/v1/session/$RSID/event" >/dev/null || fail "reliability fail_tsv rejected mid-run"
+wait "$STREAM_PID" || fail "reliability session stream client failed"
+grep -q '"rel_worst_cycle_damage"' "$WORKDIR/live_rel.sse" ||
+	fail "reliability session's done record carries no rel_* fields"
+curl -sf "http://$ADDR/v1/session/$RSID/log" >"$WORKDIR/session_rel.ndjson" ||
+	fail "reliability session log fetch failed"
+curl -sf --data-binary @"$WORKDIR/session_rel.ndjson" \
+	"http://$ADDR/v1/session/replay" >"$WORKDIR/replay_rel.sse" || fail "reliability replay failed"
+cmp -s "$WORKDIR/live_rel.sse" "$WORKDIR/replay_rel.sse" ||
+	fail "replayed reliability session differs from the live stream"
+
+# Session accounting: both runs finished, so no engine may still be
+# held; 2 opens, 3 applied events, 3 replay streams (2 full + 1 seek).
+[ "$(metric session_engines_live)" -eq 0 ] ||
+	fail "finished sessions still hold $(metric session_engines_live) engines (leak)"
+[ "$(metric sessions_opened_total)" -eq 2 ] ||
+	fail "sessions_opened_total is $(metric sessions_opened_total), want 2"
+[ "$(metric session_events_total)" -eq 3 ] ||
+	fail "session_events_total is $(metric session_events_total), want 3"
+[ "$(metric session_replays_total)" -eq 3 ] ||
+	fail "session_replays_total is $(metric session_replays_total), want 3"
+
+echo "e2e: 4/5 graceful drain on SIGTERM closes a live session"
+# A slow session (600 ticks at 5/s) is mid-stream when SIGTERM lands:
+# its stream must end with a closed terminal naming the drain, and the
+# server must still exit 0. Its (event-free) log is snapshotted first
+# so round 5 can prove the closed stream is a byte prefix of a full
+# replay on another node.
+DBODY='{"job":{"scenario":{"exp":"EXP-1"},"policy":"Default","bench":"gzip","seed":1,"duration_s":60},"cadence_ticks":1,"ticks_per_sec":5}'
+DSID=$(curl -sf -d "$DBODY" "http://$ADDR/v1/session" | jq -re .id) || fail "drain session open failed"
+curl -sN "http://$ADDR/v1/session/$DSID/stream" >"$WORKDIR/drain.sse" &
+DRAIN_PID=$!
+sleep 1
+curl -sf "http://$ADDR/v1/session/$DSID/log" >"$WORKDIR/drain.ndjson" ||
+	fail "drain session log fetch failed"
 kill -TERM "$SERVER_PID"
+wait "$DRAIN_PID" || fail "drained session stream client failed"
 STATUS=0
 wait "$SERVER_PID" || STATUS=$?
 SERVER_PID=""
 [ "$STATUS" -eq 0 ] || fail "server exited $STATUS on SIGTERM, want 0"
 grep -q "stopped" "$WORKDIR/server.log" || fail "server log records no clean stop"
+grep -q '^event: closed$' "$WORKDIR/drain.sse" ||
+	fail "drained session stream has no closed terminal"
+grep -q '"reason":"draining"' "$WORKDIR/drain.sse" ||
+	fail "closed terminal does not name the drain"
+grep -q '^event: frame$' "$WORKDIR/drain.sse" ||
+	fail "drained session streamed no frames before closing"
 
 echo "e2e: 5/5 three-node cluster"
 # Boot 3 nodes on ephemeral ports. Each blocks between binding (it
@@ -288,5 +379,21 @@ BR_A1=$(nmetric "$A1" backend_retries_total)
 [ "$PF_A1" -gt "$PF_A0" ] || fail "peer_fills_total did not move for live-peer-owned keys"
 [ "$RR_A1" -gt "$RR_A0" ] || fail "rerouted_jobs_total did not move for dead-peer-owned keys"
 [ "$BR_A1" -gt "$BR_A0" ] || fail "backend_retries_total did not move for dead-peer-owned keys"
+
+# 5e: session logs are portable. The log snapshotted from the drained
+# session in round 4 replays on a different node, and the live stream
+# the drained client saw — minus its closed terminal — is a byte
+# prefix of that full replay: the drain lost the tail, never the
+# truth.
+curl -sf --data-binary @"$WORKDIR/drain.ndjson" \
+	"http://$A1/v1/session/replay" >"$WORKDIR/drain_replay.sse" ||
+	fail "drained session log does not replay on another node"
+grep -q '^event: done$' "$WORKDIR/drain_replay.sse" ||
+	fail "cross-node replay of the drained log has no done terminal"
+sed '/^event: closed$/,$d' "$WORKDIR/drain.sse" >"$WORKDIR/drain_prefix.sse"
+[ -s "$WORKDIR/drain_prefix.sse" ] || fail "drained session captured no bytes before closing"
+PFXLEN=$(wc -c <"$WORKDIR/drain_prefix.sse")
+head -c "$PFXLEN" "$WORKDIR/drain_replay.sse" | cmp -s - "$WORKDIR/drain_prefix.sse" ||
+	fail "drained session stream is not a prefix of its replay"
 
 echo "e2e: PASS"

@@ -12,8 +12,13 @@
 //
 // Point existing workflows at it with `dtmsweep -out jsonl -remote
 // http://host:8080`, or curl it directly (see the README's API
-// section). SIGTERM/SIGINT drain gracefully: in-flight requests finish
-// streaming (up to -drain-timeout), new sweeps are refused.
+// section). Beyond batch sweeps, /v1/session opens live interactive
+// runs: per-tick SSE streaming, mid-run event injection (policy swaps,
+// workload changes, TSV failures, forced migrations), and deterministic
+// event-log replay (-max-sessions / -session-idle-timeout bound them).
+// SIGTERM/SIGINT drain gracefully: in-flight requests finish streaming
+// (up to -drain-timeout), sessions close with a terminal `closed`
+// event, new work is refused.
 package main
 
 import (
@@ -44,6 +49,8 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "simulation worker pool size (0: one per CPU)")
 	cacheFlag := flag.Int("cache", 0, "result cache capacity in records (0: 4096)")
 	maxJobsFlag := flag.Int("max-jobs", 0, "reject sweep requests expanding past this many jobs (0: 4096)")
+	maxSessionsFlag := flag.Int("max-sessions", 0, "resident interactive-session cap; at the cap opening a session evicts the oldest idle one (0: 64)")
+	sessionIdleFlag := flag.Duration("session-idle-timeout", 0, "evict interactive sessions untouched this long (0: 5m; negative: never)")
 	drainFlag := flag.Duration("drain-timeout", 30*time.Second, "how long to let in-flight requests finish on SIGTERM before forcing them")
 	stackFlag := flag.String("stack", "", "comma-separated StackSpec JSON files to register by name at startup, so clients can reference them as {\"stack\": \"name\"} (the shipped library — "+strings.Join(scenarios.Names(), ", ")+" — is always registered)")
 	peersFlag := flag.String("peers", "", "comma-separated base URLs of every cluster node INCLUDING this one (e.g. http://a:8080,http://b:8080); enables peer-fill: cache misses for keys another node owns are fetched from that owner. All nodes and routers must use the identical list")
@@ -101,11 +108,13 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:         *workersFlag,
-		CacheEntries:    *cacheFlag,
-		MaxJobsPerSweep: *maxJobsFlag,
-		Peers:           peers,
-		Self:            self,
+		Workers:            *workersFlag,
+		CacheEntries:       *cacheFlag,
+		MaxJobsPerSweep:    *maxJobsFlag,
+		Peers:              peers,
+		Self:               self,
+		MaxSessions:        *maxSessionsFlag,
+		SessionIdleTimeout: *sessionIdleFlag,
 	})
 
 	hs := &http.Server{Handler: srv.Handler()}

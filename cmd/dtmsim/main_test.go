@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain re-execs the test binary as dtmsim when the marker is
+// set, so smoke tests can drive real flag parsing (and its exit codes)
+// without building the command separately.
+func TestMain(m *testing.M) {
+	if os.Getenv("DTMSIM_SMOKE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-invokes this test binary as the command with the given
+// arguments, returning its exit code and combined output.
+func runMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "DTMSIM_SMOKE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, out := runMain(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d:\n%s", code, out)
+	}
+	for _, flag := range []string{"-exp", "-policy", "-bench", "-heatmap", "-reliability", "-grid"} {
+		if !strings.Contains(out, flag) {
+			t.Fatalf("usage text missing %s:\n%s", flag, out)
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, out := runMain(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("bad flag exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "Usage") {
+		t.Fatalf("bad flag printed no usage:\n%s", out)
+	}
+}

@@ -72,6 +72,80 @@ func NewRunnerWithHooks(hooks RunnerHooks) sweep.RunFunc {
 	return run
 }
 
+// JobConfig translates one sweep job into the simulator configuration
+// the runners execute: the stack built from the scenario's actual
+// physics (Adapt3D's offline thermal indices must be derived from the
+// chip being simulated, not the nominal-bond one — the degraded-tsv
+// stress scenario differs exactly there, and declarative stacks carry
+// arbitrary geometry; a zero joint resistivity selects the paper's
+// 0.23 m·K/W, same as the simulator's own default), the workload
+// fetched through traces so every policy replays the identical arrival
+// sequence, the policy constructed against that stack, and lifetime
+// tracking wired from the job's reliability flag. The session subsystem
+// builds its live engines through this same mapping, so an interactive
+// run of a job is the very simulation a sweep run of it would be.
+func JobConfig(traces *workload.TraceCache, j sweep.Job) (sim.Config, error) {
+	b, err := workload.ByName(j.Bench)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	sc := j.Scenario
+	if err := sc.CheckStack(); err != nil {
+		return sim.Config{}, err
+	}
+	var (
+		stack     *floorplan.Stack
+		stackSpec *floorplan.StackSpec
+	)
+	if sc.Stack != nil {
+		spec, err := sc.Stack.Resolve()
+		if err != nil {
+			return sim.Config{}, err
+		}
+		if stack, err = spec.Build(); err != nil {
+			return sim.Config{}, err
+		}
+		stackSpec = &spec
+	} else {
+		jr := sc.JointResistivityMKW
+		if jr == 0 {
+			jr = 0.23
+		}
+		var err error
+		stack, err = floorplan.BuildWithResistivity(sc.Exp, jr)
+		if err != nil {
+			return sim.Config{}, err
+		}
+	}
+	jobs, err := traces.Get(workload.GenConfig{
+		Bench:     b,
+		NumCores:  stack.NumCores(),
+		DurationS: j.DurationS,
+		Seed:      j.Seed + int64(b.ID),
+	})
+	if err != nil {
+		return sim.Config{}, err
+	}
+	pol, err := BuildPolicyWith(j.Policy, stack, j.Seed, j.Solver)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Exp:                 sc.Exp,
+		StackSpec:           stackSpec,
+		JointResistivityMKW: sc.JointResistivityMKW,
+		GridRows:            sc.GridRows,
+		GridCols:            sc.GridCols,
+		Policy:              pol,
+		UseDPM:              j.UseDPM,
+		Jobs:                jobs,
+		DurationS:           j.DurationS,
+		Seed:                j.Seed,
+		Solver:              j.Solver,
+		TrackLifetime:       j.Reliability,
+	}, nil
+}
+
 // NewRunners returns the per-job runner together with its batched
 // counterpart. Both closures share one trace cache, so a job produces
 // the identical workload trace whichever path executes it. The batched
@@ -83,73 +157,12 @@ func NewRunners(hooks RunnerHooks) (sweep.RunFunc, sweep.RunGroupFunc) {
 	obs := hooks.Observer
 	traces := workload.NewTraceCache()
 	cfgFor := func(j sweep.Job) (sim.Config, error) {
-		b, err := workload.ByName(j.Bench)
+		cfg, err := JobConfig(traces, j)
 		if err != nil {
 			return sim.Config{}, err
 		}
-		sc := j.Scenario
-		if err := sc.CheckStack(); err != nil {
-			return sim.Config{}, err
-		}
-		// Build the policy-construction stack with the scenario's
-		// actual physics: Adapt3D's offline thermal indices must be
-		// derived from the chip being simulated, not the nominal-bond
-		// one (the degraded-tsv stress scenario differs exactly there,
-		// and declarative stacks carry arbitrary geometry). Zero
-		// selects the paper's 0.23 m·K/W, same as the simulator's own
-		// default.
-		var (
-			stack     *floorplan.Stack
-			stackSpec *floorplan.StackSpec
-		)
-		if sc.Stack != nil {
-			spec, err := sc.Stack.Resolve()
-			if err != nil {
-				return sim.Config{}, err
-			}
-			if stack, err = spec.Build(); err != nil {
-				return sim.Config{}, err
-			}
-			stackSpec = &spec
-		} else {
-			jr := sc.JointResistivityMKW
-			if jr == 0 {
-				jr = 0.23
-			}
-			var err error
-			stack, err = floorplan.BuildWithResistivity(sc.Exp, jr)
-			if err != nil {
-				return sim.Config{}, err
-			}
-		}
-		jobs, err := traces.Get(workload.GenConfig{
-			Bench:     b,
-			NumCores:  stack.NumCores(),
-			DurationS: j.DurationS,
-			Seed:      j.Seed + int64(b.ID),
-		})
-		if err != nil {
-			return sim.Config{}, err
-		}
-		pol, err := BuildPolicyWith(j.Policy, stack, j.Seed, j.Solver)
-		if err != nil {
-			return sim.Config{}, err
-		}
-		return sim.Config{
-			Exp:                 sc.Exp,
-			StackSpec:           stackSpec,
-			JointResistivityMKW: sc.JointResistivityMKW,
-			GridRows:            sc.GridRows,
-			GridCols:            sc.GridCols,
-			Policy:              pol,
-			UseDPM:              j.UseDPM,
-			Jobs:                jobs,
-			DurationS:           j.DurationS,
-			Seed:                j.Seed,
-			Solver:              j.Solver,
-			TrackLifetime:       j.Reliability,
-			Observer:            obs,
-		}, nil
+		cfg.Observer = obs
+		return cfg, nil
 	}
 	run := func(ctx context.Context, j sweep.Job) (sweep.Record, error) {
 		cfg, err := cfgFor(j)

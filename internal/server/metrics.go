@@ -52,6 +52,19 @@ type Metrics struct {
 	SimTicks       int64   `json:"sim_ticks_total"`
 	TicksPerSecond float64 `json:"ticks_per_second"`
 
+	// Interactive-session accounting. Open and EnginesLive are gauges:
+	// resident sessions and how many of them still hold a live engine (a
+	// finished, killed, or evicted session frees its engine, so after a
+	// drain EnginesLive returns to zero). Opened, Events, Replays, and
+	// Evicted are monotonic totals; Replays counts full-log replays and
+	// checkpoint seeks together.
+	SessionsOpen       int   `json:"sessions_open"`
+	SessionEnginesLive int64 `json:"session_engines_live"`
+	SessionsOpened     int64 `json:"sessions_opened_total"`
+	SessionEvents      int64 `json:"session_events_total"`
+	SessionReplays     int64 `json:"session_replays_total"`
+	SessionsEvicted    int64 `json:"sessions_evicted_total"`
+
 	// Lifetime accounting over reliability-enabled jobs that completed
 	// on this process (cache hits excluded, like the job counters):
 	// the number of such jobs, the sum of their total per-block cycling

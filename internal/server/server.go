@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/floorplan"
+	"repro/internal/session"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -56,6 +57,13 @@ type Config struct {
 	// client.New with default retry tuning). Tests inject clients with
 	// tight backoff here.
 	PeerClient func(baseURL string) *client.Client
+	// MaxSessions bounds resident interactive sessions
+	// (0: session.DefaultMaxSessions). At the cap, opening a session
+	// evicts the oldest idle one.
+	MaxSessions int
+	// SessionIdleTimeout evicts sessions untouched this long
+	// (0: session.DefaultIdleTimeout; negative: idle eviction off).
+	SessionIdleTimeout time.Duration
 }
 
 // call is one running (or queued) job and everything needed to share
@@ -99,6 +107,11 @@ type Server struct {
 	mu       sync.Mutex // guards cache and inflight together
 	cache    *lruCache
 	inflight map[string]*call
+
+	// sessions owns the interactive-session subsystem (open, stream,
+	// events, replay); it shares the server's job validation and feeds
+	// the tick-throughput metric.
+	sessions *session.Manager
 }
 
 // New builds a Server and starts its worker pool.
@@ -132,6 +145,14 @@ func New(cfg Config) *Server {
 	if s.validate == nil {
 		s.validate = defaultValidateJob
 	}
+	s.sessions = session.NewManager(session.Config{
+		MaxSessions: cfg.MaxSessions,
+		IdleTimeout: cfg.SessionIdleTimeout,
+		Observer: sim.FuncObserver{
+			Tick: func(int) { s.met.simTicks.Add(1) },
+		},
+		Validate: func(j sweep.Job) error { return s.validate(j) },
+	})
 	s.self = -1
 	if len(cfg.Peers) > 1 {
 		newClient := cfg.PeerClient
@@ -168,18 +189,24 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Drain flips the server into draining mode: /healthz answers 503 and
-// new sweep submissions are refused, while requests already streaming
-// (and their jobs) continue. Call it when shutdown begins — before
+// Drain flips the server into draining mode: /healthz answers 503, new
+// sweep submissions and session opens are refused, and every resident
+// session closes — active session streams end with their `closed`
+// terminal event — while sweep requests already streaming (and their
+// jobs) continue. Call it when shutdown begins — before
 // http.Server.Shutdown — so health-check-based orchestration sees the
 // instance leave the pool at the start of the drain window, not after.
-func (s *Server) Drain() { s.draining.Store(true) }
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.sessions.Drain()
+}
 
 // Stop cancels every queued and running job and waits for the workers
 // to exit. Call after draining the HTTP server: handlers still
 // streaming will see their jobs fail with context.Canceled.
 func (s *Server) Stop() {
 	s.draining.Store(true)
+	s.sessions.Close()
 	s.baseCancel()
 	s.wg.Wait()
 }
@@ -191,6 +218,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/job", s.handleJob)
+	mux.HandleFunc("POST /v1/session", s.handleSessionOpen)
+	mux.HandleFunc("POST /v1/session/replay", s.handleSessionReplay)
+	mux.HandleFunc("GET /v1/session/{id}/stream", s.handleSessionStream)
+	mux.HandleFunc("POST /v1/session/{id}/event", s.handleSessionEvent)
+	mux.HandleFunc("GET /v1/session/{id}/log", s.handleSessionLog)
+	mux.HandleFunc("GET /v1/session/{id}/replay", s.handleSessionSeek)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
 }
@@ -444,10 +477,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `dtmserved: thermal-simulation sweep service
 
-POST /v1/sweep   submit a sweep spec, stream records back (JSONL; SSE with Accept: text/event-stream)
-POST /v1/job     run one job, answer its record (cluster peer-fill path)
-GET  /healthz    liveness
-GET  /metrics    JSON counters (jobs, queue, cache, tick throughput)
+POST /v1/sweep                        submit a sweep spec, stream records back (JSONL; SSE with Accept: text/event-stream)
+POST /v1/job                          run one job, answer its record (cluster peer-fill path)
+POST /v1/session                      open an interactive session (live run with mid-run events)
+GET  /v1/session/{id}/stream          the session's live SSE stream (frames, events, terminal)
+POST /v1/session/{id}/event           inject an event: set_policy, set_workload, fail_tsv, migrate
+GET  /v1/session/{id}/log             the session's event log (JSONL; replayable)
+GET  /v1/session/{id}/replay          re-stream a finished session from ?from_tick=T (checkpoint-seeded)
+POST /v1/session/replay               replay a recorded event log against a fresh engine
+GET  /healthz                         liveness
+GET  /metrics                         JSON counters (jobs, queue, cache, sessions, tick throughput)
 `)
 }
 
@@ -473,6 +512,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.CacheEntries = s.cache.Len()
 	m.CacheCapacity = s.cfg.CacheEntries
 	s.mu.Unlock()
+	st := s.sessions.Stats()
+	m.SessionsOpen = st.Open
+	m.SessionEnginesLive = st.EnginesLive
+	m.SessionsOpened = st.Opened
+	m.SessionEvents = st.Events
+	m.SessionReplays = st.Replays
+	m.SessionsEvicted = st.Evicted
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

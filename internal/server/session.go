@@ -1,0 +1,231 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/session"
+)
+
+// sessionInfo is the POST /v1/session response document.
+type sessionInfo struct {
+	// ID addresses the session in the /v1/session/{id}/... endpoints.
+	ID string `json:"id"`
+	// TotalTicks is the run length in sampling intervals.
+	TotalTicks int `json:"total_ticks"`
+	// TickS is the sampling interval, seconds.
+	TickS float64 `json:"tick_s"`
+	// CadenceTicks is the frame cadence in force.
+	CadenceTicks int `json:"cadence_ticks"`
+	// CheckpointTicks is the checkpoint cadence in force (0: none).
+	CheckpointTicks int `json:"checkpoint_ticks"`
+}
+
+// handleSessionOpen admits one interactive session (POST /v1/session,
+// body: a session.OpenRequest) and answers its info document.
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	if s.draining.Load() || s.baseCtx.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req session.OpenRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad session request: %v", err)
+		return
+	}
+	sess, err := s.sessions.Open(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, session.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, session.ErrLimit):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "bad session request: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sessionInfo{
+		ID:              sess.ID,
+		TotalTicks:      sess.TotalTicks(),
+		TickS:           sess.TickS(),
+		CadenceTicks:    sess.Header().CadenceTicks,
+		CheckpointTicks: sess.CheckpointTicks(),
+	})
+}
+
+// getSession resolves the request's {id} to a resident session, writing
+// the 404 itself when there is none.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) *session.Session {
+	sess, err := s.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil
+	}
+	return sess
+}
+
+// sseEmit adapts an sseStream to the session Emit contract, tracking
+// whether anything was written so error mapping knows if an HTTP status
+// can still be sent.
+type sseEmit struct {
+	st    *sseStream
+	wrote bool
+}
+
+// emit forwards one stream event.
+func (e *sseEmit) emit(event string, data []byte) error {
+	e.wrote = true
+	return e.st.event(event, data)
+}
+
+// handleSessionStream serves the session's live SSE stream
+// (GET /v1/session/{id}/stream). One stream at a time per session.
+func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	e := &sseEmit{st: &sseStream{w: w}}
+	err := sess.Stream(r.Context(), e.emit)
+	if err != nil && !e.wrote {
+		if errors.Is(err, session.ErrStreaming) {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleSessionEvent injects one event (POST /v1/session/{id}/event,
+// body: a session.Event) and answers the applied-event log record.
+func (s *Server) handleSessionEvent(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<10))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad event: %v", err)
+		return
+	}
+	ev, err := session.ParseEvent(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ae, err := sess.ApplyEvent(ev)
+	switch {
+	case err == nil:
+	case errors.Is(err, session.ErrComplete) || errors.Is(err, session.ErrClosed):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ae)
+}
+
+// handleSessionLog serves the session's event log so far
+// (GET /v1/session/{id}/log) as JSONL — the exact document
+// POST /v1/session/replay accepts.
+func (s *Server) handleSessionLog(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	sess.Log().Encode(w)
+}
+
+// handleSessionSeek re-streams a finished session from a tick boundary
+// (GET /v1/session/{id}/replay?from_tick=T), seeded by the newest
+// checkpoint before the boundary.
+func (s *Server) handleSessionSeek(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	fromTick := 0
+	if v := r.URL.Query().Get("from_tick"); v != "" {
+		var err error
+		if fromTick, err = strconv.Atoi(v); err != nil {
+			httpError(w, http.StatusBadRequest, "bad from_tick %q: %v", v, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	e := &sseEmit{st: &sseStream{w: w}}
+	err := sess.ReplayFrom(fromTick, e.emit)
+	if err != nil && !e.wrote {
+		switch {
+		case errors.Is(err, session.ErrNotComplete) || errors.Is(err, session.ErrClosed):
+			httpError(w, http.StatusConflict, "%v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+	}
+}
+
+// handleSessionReplay replays a recorded event log against a fresh
+// engine (POST /v1/session/replay, body: the JSONL log), streaming the
+// reconstructed session byte-identically to the original live stream.
+func (s *Server) handleSessionReplay(w http.ResponseWriter, r *http.Request) {
+	s.met.requestsTotal.Add(1)
+	s.met.requestsActive.Add(1)
+	defer s.met.requestsActive.Add(-1)
+
+	if s.draining.Load() || s.baseCtx.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	lg, err := session.ParseLog(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	e := &sseEmit{st: &sseStream{w: w}}
+	err = s.sessions.Replay(lg, e.emit)
+	if err != nil && !e.wrote {
+		switch {
+		case errors.Is(err, session.ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package session
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/sweep"
+)
+
+// TestSessionTickAllocationContract pins the engine-plus-frame-observer
+// tick path to the repo's zero-alloc tick budget (<= 2 allocs/tick,
+// matching the hot-path contract the sweep runner holds): attaching the
+// session's temperature observer must not add steady-state allocations.
+func TestSessionTickAllocationContract(t *testing.T) {
+	job := sweep.Job{Scenario: sweep.Scenario{Exp: floorplan.EXP1}, Policy: "DVFS_TT", Bench: "Web-med", Seed: 1, DurationS: 60}
+	m := newTestManager(t, Config{})
+	var fo frameObserver
+	eng, err := m.buildEngine(job, &fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ { // warm up buffers, queues, observer slices
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("observed %.2f allocs/tick through the session frame observer, budget is 2", avg)
+	}
+	if len(fo.coreTemps) == 0 {
+		t.Fatal("frame observer captured no temperatures")
+	}
+}
+
+// TestSessionStreamAmortizedAllocs bounds the whole streaming loop:
+// with frames at the final tick only and checkpoints off, a session
+// stream must stay within a few allocations per tick — the mutex
+// handshakes, tick-state capture, and event drains between frames are
+// allocation-free.
+func TestSessionStreamAmortizedAllocs(t *testing.T) {
+	job := sweep.Job{Scenario: sweep.Scenario{Exp: floorplan.EXP1}, Policy: "DVFS_TT", Bench: "Web-med", Seed: 1, DurationS: 60}
+	m := newTestManager(t, Config{})
+	s, err := m.Open(OpenRequest{Job: job, CadenceTicks: 600, CheckpointTicks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	discard := func(string, []byte) error { return nil }
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := s.Stream(context.Background(), discard); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	ticks := float64(s.TotalTicks())
+	perTick := float64(after.Mallocs-before.Mallocs) / ticks
+	if perTick > 3 {
+		t.Fatalf("session stream allocated %.2f objects/tick over %.0f ticks, budget is 3", perTick, ticks)
+	}
+}

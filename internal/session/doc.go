@@ -1,0 +1,32 @@
+// Package session is the stateful interactive-simulation subsystem of
+// the serving layer: a client opens a live run of one sweep job, drives
+// it through an SSE stream at a chosen frame cadence, and injects
+// events mid-run — swap the policy, change the workload, fail a TSV
+// bond, force a migration. Every applied event is appended to the
+// session's event log with the tick boundary it took effect at.
+//
+// The subsystem's central invariant is deterministic replay: the served
+// stream is a pure function of (job, cadence, event log). Replaying a
+// recorded log against a fresh engine — Manager.Replay — reproduces the
+// original live stream byte-identically (elapsed stripped, like every
+// served record). Checkpoint snapshots captured at a configurable
+// cadence (Engine.Snapshot) let Session.ReplayFrom seek into a finished
+// run without re-simulating the prefix; structural events before the
+// checkpoint (workload splices, interface degradation) are re-applied
+// silently so the restored snapshot lands on an engine whose immutable
+// inputs match the ones it was captured from.
+//
+// Concurrency: a Session's engine advances only inside Stream (one
+// active stream per session); ApplyEvent and the read accessors
+// synchronize with it through the session mutex, so an event POSTed
+// mid-run lands on an exact tick boundary. The Manager bounds resident
+// sessions (capacity eviction of the oldest idle session, janitor
+// eviction on idle timeout, drain on shutdown) and owns the shared
+// trace cache, so concurrent sessions of one job replay one generated
+// workload.
+//
+// The tick hot path stays allocation-free: the frame observer copies
+// temperatures into reused buffers, and between frames a streaming
+// session performs no heap allocations beyond the engine's own per-tick
+// budget (pinned by TestSessionTickAllocationContract).
+package session

@@ -1,0 +1,156 @@
+package session
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sweep"
+)
+
+// Log record type tags, the `type` discriminator of each JSONL line.
+const (
+	// RecordSession tags the header line.
+	RecordSession = "session"
+	// RecordEvent tags an applied-event line.
+	RecordEvent = "event"
+)
+
+// maxLogEvents bounds how many event lines ParseLog accepts; a log
+// cannot legitimately hold more events than a session would have
+// admitted (one per accepted POST), and an unbounded parse would let a
+// replay request pin arbitrary memory.
+const maxLogEvents = 1 << 16
+
+// Header is the first record of a session log: everything a fresh
+// engine needs to reproduce the session's stream, byte for byte.
+type Header struct {
+	// Type is RecordSession.
+	Type string `json:"type"`
+	// Job is the sweep job the session simulates, in its canonical wire
+	// form (the same schema POST /v1/job accepts).
+	Job sweep.Job `json:"job"`
+	// CadenceTicks is the frame cadence: a frame is emitted after every
+	// CadenceTicks-th completed tick, plus the final tick.
+	CadenceTicks int `json:"cadence_ticks"`
+}
+
+// AppliedEvent is one applied event of a session log: the event, the
+// tick boundary it took effect at (the first tick it influenced —
+// effect precedes the frame of tick Tick+1), and its sequence number in
+// application order.
+type AppliedEvent struct {
+	// Type is RecordEvent.
+	Type string `json:"type"`
+	// Tick is the boundary the event was applied at: it affected the
+	// simulation from tick Tick onward.
+	Tick int `json:"tick"`
+	// Seq numbers applied events from 0 in application order, total
+	// across the session (several events may share one tick).
+	Seq int `json:"seq"`
+	// Event is the intervention itself, normalized.
+	Event Event `json:"event"`
+}
+
+// Log is a parsed session log: the header plus the applied events in
+// application order.
+type Log struct {
+	// Header is the log's session line.
+	Header Header
+	// Events holds the applied events, seq-ordered.
+	Events []AppliedEvent
+}
+
+// Encode writes the log in its wire form: one JSON document per line,
+// header first.
+func (l *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(l.Header); err != nil {
+		return err
+	}
+	for i := range l.Events {
+		if err := enc.Encode(&l.Events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseLog reads a session log strictly: the header line first, then
+// zero or more event lines with normalized events, non-negative ticks
+// in non-decreasing order, and strictly increasing seq numbers. Unknown
+// fields, unknown record types, and out-of-order records are errors —
+// a log that would replay differently than it was recorded must never
+// start replaying.
+func ParseLog(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var lg Log
+	line := 0
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		line++
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &tag); err != nil {
+			return nil, fmt.Errorf("session: log line %d: %w", line, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		switch tag.Type {
+		case RecordSession:
+			if line != 1 {
+				return nil, fmt.Errorf("session: log line %d: duplicate session header", line)
+			}
+			if err := dec.Decode(&lg.Header); err != nil {
+				return nil, fmt.Errorf("session: log line %d: %w", line, err)
+			}
+		case RecordEvent:
+			if line == 1 {
+				return nil, fmt.Errorf("session: log must start with a session header")
+			}
+			if len(lg.Events) >= maxLogEvents {
+				return nil, fmt.Errorf("session: log holds more than %d events", maxLogEvents)
+			}
+			var ae AppliedEvent
+			if err := dec.Decode(&ae); err != nil {
+				return nil, fmt.Errorf("session: log line %d: %w", line, err)
+			}
+			if err := ae.Event.Normalize(); err != nil {
+				return nil, fmt.Errorf("session: log line %d: %w", line, err)
+			}
+			if ae.Tick < 0 {
+				return nil, fmt.Errorf("session: log line %d: negative tick %d", line, ae.Tick)
+			}
+			if n := len(lg.Events); n > 0 {
+				prev := &lg.Events[n-1]
+				if ae.Tick < prev.Tick {
+					return nil, fmt.Errorf("session: log line %d: tick %d precedes tick %d", line, ae.Tick, prev.Tick)
+				}
+				if ae.Seq <= prev.Seq {
+					return nil, fmt.Errorf("session: log line %d: seq %d not after seq %d", line, ae.Seq, prev.Seq)
+				}
+			}
+			lg.Events = append(lg.Events, ae)
+		default:
+			return nil, fmt.Errorf("session: log line %d: unknown record type %q", line, tag.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("session: reading log: %w", err)
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("session: empty log")
+	}
+	if lg.Header.CadenceTicks < 1 {
+		return nil, fmt.Errorf("session: log cadence %d must be at least 1", lg.Header.CadenceTicks)
+	}
+	return &lg, nil
+}

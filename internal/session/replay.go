@@ -1,0 +1,194 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Replay runs a recorded session log against a fresh engine and emits
+// the reconstructed stream: header, applied events and frames in
+// boundary order, then the done (or error) terminal. The emitted bytes
+// equal the original live stream's — the subsystem's central invariant.
+// Replay is stateless: it admits no session and holds no state beyond
+// the call.
+func (m *Manager) Replay(lg *Log, emit Emit) error {
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	if lg.Header.CadenceTicks < 1 {
+		return fmt.Errorf("session: log cadence %d must be at least 1", lg.Header.CadenceTicks)
+	}
+	if m.cfg.Validate != nil {
+		if err := m.cfg.Validate(lg.Header.Job); err != nil {
+			return err
+		}
+	}
+	r := &replayer{job: lg.Header.Job, cadence: lg.Header.CadenceTicks}
+	eng, err := m.buildEngine(lg.Header.Job, &r.frames)
+	if err != nil {
+		return err
+	}
+	r.eng, r.totalTicks = eng, eng.TotalTicks()
+	for i := range lg.Events {
+		if lg.Events[i].Tick >= r.totalTicks {
+			return fmt.Errorf("session: log event seq %d at tick %d beyond the run's %d ticks",
+				lg.Events[i].Seq, lg.Events[i].Tick, r.totalTicks)
+		}
+	}
+	m.replays.Add(1)
+	b, err := json.Marshal(&lg.Header)
+	if err != nil {
+		return err
+	}
+	if err := emit(StreamSession, b); err != nil {
+		return err
+	}
+	return r.run(lg.Events, emit, 0)
+}
+
+// ReplayFrom re-emits the finished run's stream from a tick boundary:
+// the header, then every event and frame with tick at or after fromTick,
+// then the done terminal — exactly the full replay stream filtered to
+// tick >= fromTick. The newest checkpoint strictly before fromTick seeds
+// the engine so the prefix is restored, not re-simulated; structural
+// events before the checkpoint are re-applied silently first, so the
+// snapshot lands on an engine whose trace and thermal model match the
+// ones it was captured from. Only a completed run seeks (ErrNotComplete
+// otherwise; ErrClosed after eviction or drain).
+func (s *Session) ReplayFrom(fromTick int, emit Emit) error {
+	s.mu.Lock()
+	s.touchLocked()
+	if s.closeMsg != "" {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if !s.finished || s.runErr != nil {
+		s.mu.Unlock()
+		return ErrNotComplete
+	}
+	if fromTick < 0 || fromTick > s.totalTicks {
+		s.mu.Unlock()
+		return fmt.Errorf("session: from_tick %d out of range [0, %d]", fromTick, s.totalTicks)
+	}
+	hdr := s.hdr
+	events := append([]AppliedEvent(nil), s.events...)
+	var ck checkpoint
+	for i := range s.ckpts {
+		// Strictly before fromTick: the frame at fromTick itself is
+		// produced by stepping tick fromTick, so the seek must start
+		// below it.
+		if s.ckpts[i].tick < fromTick {
+			ck = s.ckpts[i]
+		}
+	}
+	s.mu.Unlock()
+
+	r := &replayer{job: hdr.Job, cadence: hdr.CadenceTicks}
+	eng, err := s.mgr.buildEngine(hdr.Job, &r.frames)
+	if err != nil {
+		return err
+	}
+	r.eng, r.totalTicks = eng, eng.TotalTicks()
+
+	next := 0
+	if ck.snap != nil {
+		// Structural events preceding the checkpoint rebuilt the trace
+		// or the thermal model outside the snapshot's reach; re-apply
+		// them (silently) before restoring. Policy swaps and migrations
+		// live entirely in snapshot-captured state and must not rerun.
+		for ; next < len(events) && events[next].Tick < ck.tick; next++ {
+			ae := &events[next]
+			if !ae.Event.structural() {
+				continue
+			}
+			if err := applyEvent(eng, hdr.Job, ae.Tick, ae.Event); err != nil {
+				return fmt.Errorf("session: re-applying event seq %d before checkpoint: %w", ae.Seq, err)
+			}
+		}
+		if err := eng.Restore(ck.snap); err != nil {
+			return fmt.Errorf("session: restoring checkpoint at tick %d: %w", ck.tick, err)
+		}
+	}
+
+	b, err := json.Marshal(&hdr)
+	if err != nil {
+		return err
+	}
+	if err := emit(StreamSession, b); err != nil {
+		return err
+	}
+	s.mgr.replays.Add(1)
+	return r.run(events[next:], emit, fromTick)
+}
+
+// replayer drives one fresh engine through a recorded event sequence,
+// emitting the same stream the live session emitted.
+type replayer struct {
+	eng        *sim.Engine
+	job        sweep.Job
+	cadence    int
+	totalTicks int
+	frames     frameObserver
+	tick       sim.TickState
+	frame      Frame
+}
+
+// run steps the engine to completion, applying each event at its
+// recorded boundary and emitting events and frames whose tick is at
+// least emitFrom, then the terminal event. Events before emitFrom are
+// applied silently — they shape the simulation either way; only the
+// emission is filtered.
+func (r *replayer) run(events []AppliedEvent, emit Emit, emitFrom int) error {
+	next := 0
+	for {
+		b := r.eng.TickIndex()
+		for next < len(events) && events[next].Tick == b {
+			ae := &events[next]
+			if err := applyEvent(r.eng, r.job, b, ae.Event); err != nil {
+				return fmt.Errorf("session: replaying event seq %d at tick %d: %w", ae.Seq, b, err)
+			}
+			if b >= emitFrom {
+				buf, err := json.Marshal(ae)
+				if err != nil {
+					return err
+				}
+				if err := emit(StreamEvent, buf); err != nil {
+					return err
+				}
+			}
+			next++
+		}
+		if err := r.eng.Step(); err != nil {
+			// The live session turned this step failure into its error
+			// terminal; reproduce it, message and all.
+			if err == io.EOF {
+				err = fmt.Errorf("session: engine stepped past its run")
+			}
+			return emitTerminal(emit, sweep.Record{}, err)
+		}
+		done := r.eng.TickIndex()
+		if (done%r.cadence == 0 || done == r.totalTicks) && done >= emitFrom {
+			buf, err := marshalFrame(r.eng, &r.tick, &r.frame, &r.frames, done)
+			if err != nil {
+				return err
+			}
+			if err := emit(StreamFrame, buf); err != nil {
+				return err
+			}
+		}
+		if done == r.totalTicks {
+			res, err := r.eng.Finish()
+			if err != nil {
+				return emitTerminal(emit, sweep.Record{}, err)
+			}
+			return emitTerminal(emit, sweep.NewRecord(r.job, res, 0), nil)
+		}
+	}
+}
